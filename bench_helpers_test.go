@@ -1,0 +1,30 @@
+package prism_test
+
+import (
+	"prism/internal/cpu"
+	"prism/internal/nic"
+	"prism/internal/overlay"
+	"prism/internal/prio"
+	"prism/internal/sim"
+)
+
+// newBenchHost builds a vanilla-mode host with the standard experiment NIC
+// settings, toggling GRO.
+func newBenchHost(eng *sim.Engine, gro bool) *overlay.Host {
+	return overlay.NewHost(eng, overlay.Config{
+		Mode:       prio.ModeVanilla,
+		CStates:    cpu.C1,
+		AppCStates: cpu.C1,
+		NIC: nic.Config{
+			RxUsecs:      8 * sim.Microsecond,
+			RxFrames:     32,
+			AdaptiveIdle: 100 * sim.Microsecond,
+			GRO:          gro,
+		},
+	})
+}
+
+// benchClient returns a client-side endpoint for background flows.
+func benchClient(idx int) overlay.RemoteEndpoint {
+	return overlay.ClientContainer(idx, uint16(41000+idx))
+}

@@ -1,0 +1,269 @@
+// Package prism_test holds the top-level benchmark harness: one benchmark
+// per table/figure of the paper's evaluation (§V), plus ablations of the
+// design choices called out in DESIGN.md. Each benchmark runs the full
+// experiment at a reduced duration and reports the figure's headline
+// quantities as custom metrics, so
+//
+//	go test -bench=Fig -benchmem
+//
+// regenerates the whole evaluation in miniature; cmd/prismsim runs the
+// full-length versions.
+package prism_test
+
+import (
+	"testing"
+
+	"prism"
+	"prism/internal/experiments"
+	"prism/internal/prio"
+	"prism/internal/sim"
+	"prism/internal/traffic"
+)
+
+// benchParams shortens runs so each b.N iteration stays subsecond.
+func benchParams() experiments.Params {
+	p := experiments.Default()
+	p.Warmup = 20 * sim.Millisecond
+	p.Duration = 150 * sim.Millisecond
+	return p
+}
+
+// BenchmarkFig03 — latency of the vanilla overlay with and without
+// background traffic (busy/idle ratios as metrics).
+func BenchmarkFig03(b *testing.B) {
+	p := benchParams()
+	var res experiments.Fig3Result
+	for i := 0; i < b.N; i++ {
+		res = experiments.Fig3(p)
+	}
+	b.ReportMetric(res.MedianRatio, "busy/idle-p50")
+	b.ReportMetric(res.P99Ratio, "busy/idle-p99")
+	b.ReportMetric(res.Busy.Mean.Micros(), "busy-mean-µs")
+}
+
+// BenchmarkFig06 — poll-order trace capture (device order booleans).
+func BenchmarkFig06(b *testing.B) {
+	p := benchParams()
+	var res experiments.Fig6Result
+	for i := 0; i < b.N; i++ {
+		res = experiments.Fig6(p)
+	}
+	bool01 := func(v bool) float64 {
+		if v {
+			return 1
+		}
+		return 0
+	}
+	b.ReportMetric(bool01(res.VanillaInterleaved), "vanilla-interleaved")
+	b.ReportMetric(bool01(res.PrismStreamlined), "prism-streamlined")
+}
+
+// BenchmarkFig08 — per-mode latency and single-core max throughput.
+func BenchmarkFig08(b *testing.B) {
+	p := benchParams()
+	var res experiments.Fig8Result
+	for i := 0; i < b.N; i++ {
+		res = experiments.Fig8(p)
+	}
+	for _, row := range res.Rows {
+		b.ReportMetric(row.MaxKpps, row.Mode.String()+"-kpps")
+		b.ReportMetric(row.Latency.P50.Micros(), row.Mode.String()+"-p50µs")
+	}
+}
+
+// BenchmarkFig09 — overlay priority differentiation under background load.
+func BenchmarkFig09(b *testing.B) {
+	p := benchParams()
+	var res experiments.Fig9Result
+	for i := 0; i < b.N; i++ {
+		res = experiments.Fig9(p)
+	}
+	b.ReportMetric(100*res.Improvement(prio.ModeSync, experiments.MeanOf), "sync-avg-cut-%")
+	b.ReportMetric(100*res.Improvement(prio.ModeSync, experiments.P99Of), "sync-p99-cut-%")
+	b.ReportMetric(100*res.KernelImprovement(prio.ModeSync, experiments.MeanOf), "sync-kern-avg-cut-%")
+	b.ReportMetric(100*res.Improvement(prio.ModeBatch, experiments.MeanOf), "batch-avg-cut-%")
+}
+
+// BenchmarkFig10 — the host-network null result.
+func BenchmarkFig10(b *testing.B) {
+	p := benchParams()
+	var res experiments.Fig9Result
+	for i := 0; i < b.N; i++ {
+		res = experiments.Fig10(p)
+	}
+	b.ReportMetric(100*res.Improvement(prio.ModeSync, experiments.MeanOf), "sync-avg-cut-%")
+}
+
+// BenchmarkFig11 — the background-load sweep (three representative loads).
+func BenchmarkFig11(b *testing.B) {
+	p := benchParams()
+	loads := []float64{10_000, 150_000, 300_000}
+	var res experiments.Fig11Result
+	for i := 0; i < b.N; i++ {
+		res = experiments.Fig11(p, loads)
+	}
+	for _, s := range res.Series {
+		last := s.Points[len(s.Points)-1]
+		b.ReportMetric(last.Avg.Micros(), s.Mode.String()+"-avg-µs@300k")
+	}
+}
+
+// BenchmarkFig12 — memcached/memaslap.
+func BenchmarkFig12(b *testing.B) {
+	p := benchParams()
+	var res experiments.Fig12Result
+	for i := 0; i < b.N; i++ {
+		res = experiments.Fig12(p)
+	}
+	vanBusy, _ := res.Find(prio.ModeVanilla, true)
+	synBusy, _ := res.Find(prio.ModeSync, true)
+	vanIdle, _ := res.Find(prio.ModeVanilla, false)
+	if vanIdle.KOps > 0 {
+		b.ReportMetric(vanBusy.KOps/vanIdle.KOps, "vanilla-busy/idle-tput")
+	}
+	if vanBusy.KOps > 0 {
+		b.ReportMetric(synBusy.KOps/vanBusy.KOps, "sync/vanilla-busy-tput")
+	}
+}
+
+// BenchmarkFig13 — nginx/wrk2.
+func BenchmarkFig13(b *testing.B) {
+	p := benchParams()
+	var res experiments.Fig13Result
+	for i := 0; i < b.N; i++ {
+		res = experiments.Fig13(p)
+	}
+	vanBusy, _ := res.Find(prio.ModeVanilla, true)
+	for _, mode := range []prio.Mode{prio.ModeBatch, prio.ModeSync} {
+		row, _ := res.Find(mode, true)
+		if vanBusy.Latency.Mean > 0 {
+			cut := 100 * (1 - float64(row.Latency.Mean)/float64(vanBusy.Latency.Mean))
+			b.ReportMetric(cut, mode.String()+"-avg-cut-%")
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Ablations: the design choices DESIGN.md calls out.
+
+// ablate runs the Fig. 9 rig under a cost/config mutation and reports the
+// sync-mode improvement.
+func ablate(b *testing.B, mutate func(*experiments.Params)) {
+	p := benchParams()
+	if mutate != nil {
+		mutate(&p)
+	}
+	var res experiments.Fig9Result
+	for i := 0; i < b.N; i++ {
+		res = experiments.Fig9(p)
+	}
+	b.ReportMetric(100*res.Improvement(prio.ModeSync, experiments.MeanOf), "sync-avg-cut-%")
+	b.ReportMetric(100*res.KernelImprovement(prio.ModeSync, experiments.MeanOf), "sync-kern-cut-%")
+}
+
+// BenchmarkAblationBurst sweeps background burstiness: PRISM's advantage
+// shrinks as the stage-1 FIFO share of the delay grows.
+func BenchmarkAblationBurst(b *testing.B) {
+	for _, burst := range []int{32, 96, 192} {
+		burst := burst
+		b.Run(benchName("burst", burst), func(b *testing.B) {
+			ablate(b, func(p *experiments.Params) { p.BGBurst = burst })
+		})
+	}
+}
+
+// BenchmarkAblationLoad sweeps the background rate.
+func BenchmarkAblationLoad(b *testing.B) {
+	for _, rate := range []float64{150_000, 300_000, 350_000} {
+		rate := rate
+		b.Run(benchName("kpps", int(rate/1000)), func(b *testing.B) {
+			ablate(b, func(p *experiments.Params) { p.BGRate = rate })
+		})
+	}
+}
+
+// BenchmarkAblationRawPipeline measures the raw simulator event rate for a
+// saturated three-stage pipeline — the engine-level cost of the framework.
+func BenchmarkAblationRawPipeline(b *testing.B) {
+	for _, mode := range []prio.Mode{prio.ModeVanilla, prio.ModeBatch, prio.ModeSync} {
+		mode := mode
+		b.Run(mode.String(), func(b *testing.B) {
+			sim := prism.NewSimulation(prism.WithMode(mode), prism.WithSeed(3))
+			srv := sim.AddContainer("sink")
+			sim.MarkHighPriority(srv.IP, 11111)
+			fl := sim.NewBackgroundFlood(srv, 11111, 600_000)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sim.Run(1_000_000) // 1ms of virtual time per iteration
+			}
+			b.StopTimer()
+			if fl.Delivered() == 0 {
+				b.Fatal("pipeline delivered nothing")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationGRO compares TCP background cost with and without GRO.
+func BenchmarkAblationGRO(b *testing.B) {
+	for _, gro := range []bool{true, false} {
+		gro := gro
+		name := "gro-on"
+		if !gro {
+			name = "gro-off"
+		}
+		b.Run(name, func(b *testing.B) {
+			var util float64
+			for i := 0; i < b.N; i++ {
+				util = tcpBGUtil(gro)
+			}
+			b.ReportMetric(100*util, "proc-core-util-%")
+		})
+	}
+}
+
+// tcpBGUtil measures processing-core utilization under a TCP bulk
+// background, built on internals (the facade keeps the public API small).
+func tcpBGUtil(gro bool) float64 {
+	eng := sim.NewEngine(3)
+	host := newBenchHost(eng, gro)
+	ctr := host.AddContainer("bg")
+	st := traffic.NewTCPStream(eng, host, ctr, benchClient(1), 5201, 30_000)
+	if err := st.InstallSink(600); err != nil {
+		panic(err)
+	}
+	host.ProcCore.ResetWindow(0)
+	st.Start(0)
+	if err := eng.Run(100 * sim.Millisecond); err != nil {
+		panic(err)
+	}
+	return host.ProcCore.Utilization(eng.Now())
+}
+
+func benchName(prefix string, v int) string {
+	const digits = "0123456789"
+	if v == 0 {
+		return prefix + "-0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = digits[v%10]
+		v /= 10
+	}
+	return prefix + "-" + string(buf[i:])
+}
+
+// BenchmarkExtDriver evaluates the §VII-1 extension: driver-level priority
+// rings, which remove the stage-1 FIFO limitation.
+func BenchmarkExtDriver(b *testing.B) {
+	p := benchParams()
+	var res experiments.ExtDriverResult
+	for i := 0; i < b.N; i++ {
+		res = experiments.ExtDriver(p)
+	}
+	b.ReportMetric(res.OverlayDriver.Mean.Micros(), "overlay-driver-mean-µs")
+	b.ReportMetric(res.OverlayStock.Mean.Micros(), "overlay-stock-mean-µs")
+	b.ReportMetric(res.HostDriver.Mean.Micros(), "host-driver-mean-µs")
+}

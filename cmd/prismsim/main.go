@@ -1,0 +1,90 @@
+// Command prismsim runs the paper's experiments and prints the tables and
+// series each figure reports.
+//
+// Usage:
+//
+//	prismsim -exp fig3          # one experiment
+//	prismsim -exp all           # everything (takes a few minutes)
+//	prismsim -exp fig9 -duration 2s -bg 250000 -seed 7
+//	prismsim -exp fig3 -cdf     # also dump CDF points for plotting
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"prism/internal/experiments"
+	"prism/internal/sim"
+	"prism/internal/stats"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "all", "experiment: fig3|fig6|fig8|fig9|fig10|fig11|fig12|fig13|extdriver|batchsweep|scaling|all")
+		seed     = flag.Uint64("seed", 42, "simulation seed")
+		duration = flag.Duration("duration", time.Second, "measured duration (virtual time)")
+		warmup   = flag.Duration("warmup", 100*time.Millisecond, "warmup (virtual time)")
+		bg       = flag.Float64("bg", 300_000, "background rate (pps)")
+		high     = flag.Float64("high", 1000, "high-priority flow rate (pps)")
+		load     = flag.Float64("load", 270_000, "fig8 latency load (pps)")
+		burst    = flag.Int("burst", 96, "background burst size (frames)")
+		cdf      = flag.Bool("cdf", false, "dump CDF points for CDF figures")
+	)
+	flag.Parse()
+
+	p := experiments.Default()
+	p.Seed = *seed
+	p.Duration = sim.Duration(*duration)
+	p.Warmup = sim.Duration(*warmup)
+	p.BGRate = *bg
+	p.HighRate = *high
+	p.LoadRate = *load
+	p.BGBurst = *burst
+
+	ok := false
+	run := func(name string, fn func()) {
+		if *exp == name || *exp == "all" {
+			fn()
+			ok = true
+		}
+	}
+	run("fig3", func() {
+		r := experiments.Fig3(p)
+		fmt.Println(r)
+		if *cdf {
+			fmt.Println("idle CDF (µs, fraction):")
+			fmt.Print(stats.FormatCDF(r.IdleCDF))
+			fmt.Println("busy CDF (µs, fraction):")
+			fmt.Print(stats.FormatCDF(r.BusyCDF))
+		}
+	})
+	run("fig6", func() { fmt.Println(experiments.Fig6(p)) })
+	run("fig8", func() { fmt.Println(experiments.Fig8(p)) })
+	run("fig9", func() {
+		r := experiments.Fig9(p)
+		fmt.Println(r)
+		if *cdf {
+			fmt.Println("idle CDF (µs, fraction):")
+			fmt.Print(stats.FormatCDF(r.IdleCDF))
+			for _, row := range r.Rows {
+				fmt.Printf("%s busy CDF (µs, fraction):\n", row.Mode)
+				fmt.Print(stats.FormatCDF(row.BusyCDF))
+			}
+		}
+	})
+	run("fig10", func() { fmt.Println(experiments.Fig10(p)) })
+	run("fig11", func() { fmt.Println(experiments.Fig11(p, nil)) })
+	run("fig12", func() { fmt.Println(experiments.Fig12(p)) })
+	run("fig13", func() { fmt.Println(experiments.Fig13(p)) })
+	run("extdriver", func() { fmt.Println(experiments.ExtDriver(p)) })
+	run("batchsweep", func() { fmt.Println(experiments.AblationBatch(p, nil)) })
+	run("scaling", func() { fmt.Println(experiments.Scaling(p, nil)) })
+
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		flag.Usage()
+		os.Exit(2)
+	}
+}

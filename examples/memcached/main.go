@@ -1,0 +1,26 @@
+// Memcached: the paper's Fig. 12 scenario as a standalone program — a
+// memcached container under a memaslap closed-loop client, with and
+// without background traffic, on vanilla vs PRISM-sync.
+//
+//	go run ./examples/memcached
+package main
+
+import (
+	"fmt"
+
+	"prism"
+)
+
+func main() {
+	p := prism.DefaultExperimentParams()
+	res := prism.RunFig12(p)
+	fmt.Println(res)
+
+	van, _ := res.Find(prism.ModeVanilla, true)
+	syn, _ := res.Find(prism.ModeSync, true)
+	vanIdle, _ := res.Find(prism.ModeVanilla, false)
+	fmt.Printf("busy-server throughput: vanilla keeps %.0f%% of idle; PRISM-sync %.0f%% (%.2fx vanilla)\n",
+		100*van.KOps/vanIdle.KOps, 100*syn.KOps/vanIdle.KOps, syn.KOps/van.KOps)
+	fmt.Printf("busy-server avg latency: PRISM-sync cuts %.0f%% vs vanilla\n",
+		100*(1-float64(syn.Latency.Mean)/float64(van.Latency.Mean)))
+}

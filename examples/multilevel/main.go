@@ -1,0 +1,56 @@
+// Multilevel: the §VII-3 extension — tiered service classes sharing one
+// packet-processing core. A low-rate control-plane flow competes with a
+// *heavy* latency-sensitive service flow (both high-priority) on top of
+// bulk background traffic. With the paper's single high class the control
+// packets queue behind the service packets in every high-priority queue;
+// at level 2 they overtake them.
+//
+//	go run ./examples/multilevel
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"prism"
+)
+
+// measure returns the control flow's latency summary with the control
+// flow at the given priority level.
+func measure(controlLevel int) prism.Summary {
+	// Driver-level priority rings (§VII-1) let the classes separate at the
+	// NIC itself; without them, high-class contention hides inside the
+	// priority-blind stage-1 FIFO ring.
+	sim := prism.NewSimulation(
+		prism.WithMode(prism.ModeBatch),
+		prism.WithDriverPriority(),
+		prism.WithSeed(21),
+	)
+
+	control := sim.AddContainer("etcd") // raft heartbeats: low rate, urgent
+	service := sim.AddContainer("api")  // user-facing: high-priority AND heavy
+	bulk := sim.AddContainer("backup")  // best-effort throughput hog
+
+	sim.MarkPriorityLevel(control.IP, 2379, controlLevel)
+	sim.MarkPriorityLevel(service.IP, 8080, 1)
+
+	ctl := sim.NewLatencyFlow(control, 2379, 500)
+	sim.NewBackgroundFlood(service, 8080, 60_000) // heavy high-priority class
+	sim.NewBackgroundFlood(bulk, 5001, 250_000)   // best-effort background
+
+	sim.Run(2 * time.Second)
+	return ctl.KernelSummary()
+}
+
+func main() {
+	flat := measure(1)   // paper's single high class: control == service
+	tiered := measure(2) // control outranks service
+
+	fmt.Println("Control-plane kernel latency among competing service classes:")
+	fmt.Printf("  single high class (paper):    p50=%6.1fµs  p99=%7.1fµs\n",
+		flat.P50.Micros(), flat.P99.Micros())
+	fmt.Printf("  control at level 2 (§VII-3):  p50=%6.1fµs  p99=%7.1fµs\n",
+		tiered.P50.Micros(), tiered.P99.Micros())
+	fmt.Printf("  p99 cut from tiering: %.0f%%\n",
+		100*(1-float64(tiered.P99)/float64(flat.P99)))
+}

@@ -1,0 +1,44 @@
+// Quickstart: build the paper's testbed, run a latency-sensitive flow
+// against heavy background traffic, and compare the three receive engines.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"prism"
+)
+
+func measure(mode prism.Mode) prism.Summary {
+	sim := prism.NewSimulation(prism.WithMode(mode), prism.WithSeed(7))
+
+	// A latency-sensitive service (e.g. a key-value store) in one
+	// container, marked high priority in PRISM's runtime flow database.
+	srv := sim.AddContainer("kv-store")
+	sim.MarkHighPriority(srv.IP, 11111)
+	flow := sim.NewLatencyFlow(srv, 11111, 1000) // 1 kpps ping-pong
+
+	// A throughput-hungry neighbour (e.g. an analytics shuffle) blasting
+	// 300 kpps of small UDP packets at a second container. Both containers
+	// share the single packet-processing core, as in the paper's setup.
+	noisy := sim.AddContainer("analytics")
+	sim.NewBackgroundFlood(noisy, 5001, 300_000)
+
+	sim.Run(2 * time.Second)
+	return flow.Summary()
+}
+
+func main() {
+	fmt.Println("High-priority flow latency (RTT/2) against 300 kpps background:")
+	fmt.Println()
+	for _, mode := range []prism.Mode{prism.ModeVanilla, prism.ModeBatch, prism.ModeSync} {
+		s := measure(mode)
+		fmt.Printf("  %-12s p50=%6.1fµs  mean=%6.1fµs  p99=%6.1fµs\n",
+			mode, s.P50.Micros(), s.Mean.Micros(), s.P99.Micros())
+	}
+	fmt.Println()
+	fmt.Println("PRISM lets the latency-sensitive flow preempt the background at")
+	fmt.Println("every stage past the NIC ring; vanilla NAPI processes FCFS.")
+}

@@ -1,0 +1,28 @@
+// Webserver: the paper's Fig. 13 scenario as a standalone program — an
+// nginx-style container serving a small static page to a wrk2-style
+// constant-rate client, while a TCP bulk transfer (64 KB messages,
+// GRO-coalesced at the NIC) hammers a neighbour container.
+//
+//	go run ./examples/webserver
+package main
+
+import (
+	"fmt"
+
+	"prism"
+)
+
+func main() {
+	p := prism.DefaultExperimentParams()
+	res := prism.RunFig13(p)
+	fmt.Println(res)
+
+	van, _ := res.Find(prism.ModeVanilla, true)
+	for _, mode := range []prism.Mode{prism.ModeBatch, prism.ModeSync} {
+		row, _ := res.Find(mode, true)
+		fmt.Printf("busy server: %-12s cuts avg latency %.0f%% and p99 %.0f%% vs vanilla\n",
+			mode,
+			100*(1-float64(row.Latency.Mean)/float64(van.Latency.Mean)),
+			100*(1-float64(row.Latency.P99)/float64(van.Latency.P99)))
+	}
+}

@@ -1,0 +1,275 @@
+// Package memcached models the Fig. 12 application benchmark: a memcached
+// server container driven by a memaslap-style closed-loop client over the
+// overlay network.
+//
+// The protocol is a compact binary stand-in for the memcached UDP
+// protocol: requests carry a latency probe, an opcode, and a key (plus a
+// value for SET); responses echo the probe and carry the value for GET.
+// What matters to the experiment is not protocol detail but the
+// closed-loop dynamics: throughput = outstanding / RTT, so when background
+// traffic inflates RTT 5x, throughput collapses — exactly Fig. 12.
+package memcached
+
+import (
+	"fmt"
+
+	"prism/internal/overlay"
+	"prism/internal/pkt"
+	"prism/internal/sim"
+	"prism/internal/socket"
+	"prism/internal/stats"
+)
+
+// Ops.
+const (
+	OpGet byte = 1
+	OpSet byte = 2
+)
+
+// Port is the memcached service port.
+const Port = 11211
+
+// ServerConfig sets the per-op application costs (measured memcached-like
+// values on the paper's CPU).
+type ServerConfig struct {
+	GetCost sim.Time
+	SetCost sim.Time
+}
+
+// DefaultServerConfig returns typical small-object costs.
+func DefaultServerConfig() ServerConfig {
+	return ServerConfig{
+		GetCost: 2 * sim.Microsecond,
+		SetCost: 2500 * sim.Nanosecond,
+	}
+}
+
+// Server is the memcached container app.
+type Server struct {
+	cfg ServerConfig
+	ctr *overlay.Container
+
+	store map[string][]byte
+
+	Gets, Sets, Misses uint64
+}
+
+// InstallServer binds the server on the container. Replies return to the
+// client endpoint carried in each request's flow.
+func InstallServer(ctr *overlay.Container, cfg ServerConfig) (*Server, error) {
+	s := &Server{cfg: cfg, ctr: ctr, store: make(map[string][]byte)}
+	app := socket.AppFunc{
+		Cost: s.cost,
+		Fn:   s.onRequest,
+	}
+	if _, err := ctr.Bind(pkt.ProtoUDP, Port, app, 4096); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func (s *Server) cost(m socket.Message) sim.Time {
+	if len(m.Payload) > pkt.ProbeLen && m.Payload[pkt.ProbeLen] == OpSet {
+		return s.cfg.SetCost
+	}
+	return s.cfg.GetCost
+}
+
+func (s *Server) onRequest(done sim.Time, m socket.Message) {
+	p := m.Payload
+	if len(p) < pkt.ProbeLen+2 {
+		return
+	}
+	op := p[pkt.ProbeLen]
+	keyLen := int(p[pkt.ProbeLen+1])
+	if len(p) < pkt.ProbeLen+2+keyLen {
+		return
+	}
+	key := string(p[pkt.ProbeLen+2 : pkt.ProbeLen+2+keyLen])
+	reply := make([]byte, pkt.ProbeLen, pkt.ProbeLen+256)
+	copy(reply, p[:pkt.ProbeLen]) // echo the probe
+	switch op {
+	case OpSet:
+		s.Sets++
+		value := p[pkt.ProbeLen+2+keyLen:]
+		stored := make([]byte, len(value))
+		copy(stored, value)
+		s.store[key] = stored
+		reply = append(reply, 'S')
+	case OpGet:
+		s.Gets++
+		v, ok := s.store[key]
+		if !ok {
+			s.Misses++
+			reply = append(reply, 'M')
+		} else {
+			reply = append(reply, 'V')
+			reply = append(reply, v...)
+		}
+	default:
+		return
+	}
+	dst := overlay.RemoteEndpoint{
+		// Reply to whoever asked: reconstruct the client endpoint from the
+		// request flow (MACs are deterministic in this fabric).
+		IP:   m.From.SrcIP,
+		Port: m.From.SrcPort,
+		MAC:  clientMACFor(m.From.SrcIP),
+	}
+	s.ctr.SendUDP(done, dst, Port, reply)
+}
+
+// clientMACFor reproduces overlay.ClientContainer's deterministic MAC for
+// a client container IP.
+func clientMACFor(ip pkt.IPv4) pkt.MAC {
+	return pkt.MAC{0x02, 0x42, ip[0], ip[1], ip[2], ip[3]}
+}
+
+// MemaslapConfig parameterizes the closed-loop client.
+type MemaslapConfig struct {
+	// Concurrency is the number of outstanding requests (memaslap
+	// connections x pipeline depth).
+	Concurrency int
+	// GetRatio is the fraction of GETs (memaslap default 0.9).
+	GetRatio float64
+	// KeyCount, ValueSize shape the workload.
+	KeyCount  int
+	ValueSize int
+	// Timeout resends after a lost reply (socket overflow under load).
+	Timeout sim.Time
+	// ClientTx/ClientRx are the unloaded client-machine constants.
+	ClientTx sim.Time
+	ClientRx sim.Time
+	// Warmup discards samples sent before it.
+	Warmup sim.Time
+}
+
+// DefaultMemaslapConfig mirrors a typical memaslap invocation.
+func DefaultMemaslapConfig() MemaslapConfig {
+	return MemaslapConfig{
+		Concurrency: 16,
+		GetRatio:    0.9,
+		KeyCount:    1000,
+		ValueSize:   512,
+		Timeout:     50 * sim.Millisecond,
+		ClientTx:    8 * sim.Microsecond,
+		ClientRx:    22 * sim.Microsecond,
+	}
+}
+
+// Memaslap is the closed-loop load generator.
+type Memaslap struct {
+	cfg MemaslapConfig
+
+	eng  *sim.Engine
+	host *overlay.Host
+	ctr  *overlay.Container
+	src  overlay.RemoteEndpoint
+
+	// Hist records full round-trip latency per completed op, as memaslap
+	// reports.
+	Hist *stats.Histogram
+	// Ops counts completed operations inside the measurement window;
+	// Timeouts counts presumed-lost requests.
+	Ops      uint64
+	Timeouts uint64
+
+	seq      uint64
+	timeouts []*sim.Event
+	expect   []uint64 // per-connection outstanding sequence number
+	measured struct {
+		from sim.Time
+		to   sim.Time
+	}
+}
+
+// NewMemaslap builds the client against a server container.
+func NewMemaslap(eng *sim.Engine, host *overlay.Host, ctr *overlay.Container,
+	src overlay.RemoteEndpoint, cfg MemaslapConfig) *Memaslap {
+	return &Memaslap{
+		cfg: cfg, eng: eng, host: host, ctr: ctr, src: src,
+		Hist:     stats.NewHistogram(),
+		timeouts: make([]*sim.Event, cfg.Concurrency),
+		expect:   make([]uint64, cfg.Concurrency),
+	}
+}
+
+// Start registers the reply handler and launches all connections.
+func (ms *Memaslap) Start(client interface {
+	Register(port uint16, fn func(sim.Time, []byte, pkt.FlowKey))
+}, at sim.Time) {
+	client.Register(ms.src.Port, ms.onReply)
+	ms.measured.from = ms.cfg.Warmup
+	ms.eng.At(at, func() {
+		for conn := 0; conn < ms.cfg.Concurrency; conn++ {
+			ms.sendNext(conn)
+		}
+	})
+}
+
+// ThroughputOps returns completed ops/sec over the measured window.
+func (ms *Memaslap) ThroughputOps() float64 {
+	window := ms.measured.to - ms.measured.from
+	if window <= 0 {
+		return 0
+	}
+	return float64(ms.Ops) / window.Seconds()
+}
+
+func (ms *Memaslap) key(n uint64) string {
+	return fmt.Sprintf("key-%06d", n%uint64(ms.cfg.KeyCount))
+}
+
+func (ms *Memaslap) sendNext(conn int) {
+	now := ms.eng.Now()
+	ms.seq++
+	seq := uint64(conn)<<40 | ms.seq
+	ms.expect[conn] = seq
+	isGet := ms.eng.RNG().Float64() < ms.cfg.GetRatio
+	key := ms.key(ms.seq)
+
+	payload := make([]byte, pkt.ProbeLen+2+len(key), pkt.ProbeLen+2+len(key)+ms.cfg.ValueSize)
+	pkt.PutProbe(payload, seq, now)
+	op := OpGet
+	if !isGet {
+		op = OpSet
+		payload = append(payload, make([]byte, ms.cfg.ValueSize)...)
+	}
+	payload[pkt.ProbeLen] = op
+	payload[pkt.ProbeLen+1] = byte(len(key))
+	copy(payload[pkt.ProbeLen+2:], key)
+
+	frame := overlay.EncapToServer(ms.src, ms.ctr, Port, payload)
+	arrive := now + ms.cfg.ClientTx + ms.host.Costs.WireLatency + ms.host.Costs.Serialization(len(frame))
+	f := frame
+	ms.eng.At(arrive, func() { ms.host.InjectFromWire(ms.eng.Now(), f) })
+
+	// Arm the per-connection timeout: a dropped request or reply must not
+	// stall the connection forever.
+	ms.timeouts[conn] = ms.eng.After(ms.cfg.Timeout, func() {
+		ms.Timeouts++
+		ms.sendNext(conn)
+	})
+}
+
+func (ms *Memaslap) onReply(now sim.Time, payload []byte, _ pkt.FlowKey) {
+	seq, sentAt, err := pkt.ParseProbe(payload)
+	if err != nil {
+		return
+	}
+	conn := int(seq >> 40)
+	if conn < 0 || conn >= len(ms.timeouts) {
+		return
+	}
+	if ms.expect[conn] != seq {
+		return // stale reply from a request that already timed out
+	}
+	ms.eng.Cancel(ms.timeouts[conn])
+	rtt := now + ms.cfg.ClientRx - sentAt
+	if sentAt >= ms.cfg.Warmup {
+		ms.Hist.Record(rtt)
+		ms.Ops++
+		ms.measured.to = now
+	}
+	ms.sendNext(conn)
+}

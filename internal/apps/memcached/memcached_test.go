@@ -1,0 +1,159 @@
+package memcached
+
+import (
+	"testing"
+
+	"prism/internal/cpu"
+	"prism/internal/nic"
+	"prism/internal/overlay"
+	"prism/internal/pkt"
+	"prism/internal/prio"
+	"prism/internal/sim"
+	"prism/internal/traffic"
+)
+
+func newRig(t *testing.T, mode prio.Mode) (*sim.Engine, *overlay.Host, *traffic.Client, *overlay.Container, *Server) {
+	t.Helper()
+	eng := sim.NewEngine(5)
+	host := overlay.NewHost(eng, overlay.Config{
+		Mode: mode, CStates: cpu.C1, AppCStates: cpu.C1,
+		NIC: nic.Config{RxUsecs: 8 * sim.Microsecond, RxFrames: 32, AdaptiveIdle: 100 * sim.Microsecond},
+	})
+	client := traffic.NewClient(host)
+	ctr := host.AddContainer("memcached")
+	srv, err := InstallServer(ctr, DefaultServerConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, host, client, ctr, srv
+}
+
+func TestClosedLoopGetSet(t *testing.T) {
+	eng, host, client, ctr, srv := newRig(t, prio.ModeVanilla)
+	cfg := DefaultMemaslapConfig()
+	cfg.Concurrency = 4
+	cfg.GetRatio = 0.5
+	ms := NewMemaslap(eng, host, ctr, overlay.ClientContainer(0, 40000), cfg)
+	ms.Start(client, 0)
+	if err := eng.Run(200 * sim.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if ms.Ops < 100 {
+		t.Fatalf("completed only %d ops", ms.Ops)
+	}
+	if srv.Gets == 0 || srv.Sets == 0 {
+		t.Errorf("gets/sets = %d/%d, want both exercised", srv.Gets, srv.Sets)
+	}
+	if ms.Timeouts != 0 {
+		t.Errorf("timeouts = %d on an idle server", ms.Timeouts)
+	}
+	if ms.Hist.Count() == 0 {
+		t.Fatal("no latency samples")
+	}
+	// Closed loop identity: throughput ~= concurrency / mean RTT.
+	tput := ms.ThroughputOps()
+	mean := ms.Hist.Mean().Seconds()
+	expected := float64(cfg.Concurrency) / mean
+	if tput < expected*0.7 || tput > expected*1.3 {
+		t.Errorf("throughput %.0f ops/s vs closed-loop expectation %.0f", tput, expected)
+	}
+}
+
+func TestServerStoreSemantics(t *testing.T) {
+	eng, host, client, ctr, srv := newRig(t, prio.ModeVanilla)
+	// With GetRatio 0 every op is a SET; misses stay zero.
+	cfg := DefaultMemaslapConfig()
+	cfg.Concurrency = 2
+	cfg.GetRatio = 0
+	ms := NewMemaslap(eng, host, ctr, overlay.ClientContainer(0, 40000), cfg)
+	ms.Start(client, 0)
+	if err := eng.Run(50 * sim.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if srv.Sets == 0 || srv.Gets != 0 {
+		t.Errorf("sets/gets = %d/%d", srv.Sets, srv.Gets)
+	}
+	if len(srv.store) == 0 {
+		t.Error("nothing stored")
+	}
+	for k, v := range srv.store {
+		if len(v) != cfg.ValueSize {
+			t.Errorf("stored %q has %d bytes, want %d", k, len(v), cfg.ValueSize)
+		}
+	}
+}
+
+func TestMissesCountedBeforeSets(t *testing.T) {
+	eng, host, client, ctr, srv := newRig(t, prio.ModeVanilla)
+	cfg := DefaultMemaslapConfig()
+	cfg.Concurrency = 1
+	cfg.GetRatio = 1 // never sets: every get misses
+	ms := NewMemaslap(eng, host, ctr, overlay.ClientContainer(0, 40000), cfg)
+	ms.Start(client, 0)
+	if err := eng.Run(20 * sim.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if srv.Misses != srv.Gets || srv.Misses == 0 {
+		t.Errorf("misses = %d of %d gets", srv.Misses, srv.Gets)
+	}
+	// Misses still complete the closed loop.
+	if ms.Ops == 0 {
+		t.Error("no ops completed")
+	}
+}
+
+func TestTimeoutRecoversLostRequests(t *testing.T) {
+	eng, host, client, ctr, _ := newRig(t, prio.ModeVanilla)
+	cfg := DefaultMemaslapConfig()
+	cfg.Concurrency = 1
+	cfg.Timeout = 5 * sim.Millisecond
+	ms := NewMemaslap(eng, host, ctr, overlay.ClientContainer(0, 40000), cfg)
+	ms.Start(client, 0)
+	// Saturate the NIC ring with junk so some requests drop.
+	fl := traffic.NewUDPFlood(eng, host, host.AddContainer("bg"), overlay.ClientContainer(1, 41000), 5001, 800_000)
+	if err := fl.InstallSink(500); err != nil {
+		t.Fatal(err)
+	}
+	fl.Start(0)
+	if err := eng.Run(300 * sim.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	// The connection must never wedge: ops keep completing even with
+	// losses (via timeouts).
+	if ms.Ops+ms.Timeouts < 20 {
+		t.Errorf("closed loop wedged: ops=%d timeouts=%d", ms.Ops, ms.Timeouts)
+	}
+}
+
+func TestBusyThroughputCollapse(t *testing.T) {
+	run := func(busy bool) float64 {
+		eng, host, client, ctr, _ := newRig(t, prio.ModeVanilla)
+		ms := NewMemaslap(eng, host, ctr, overlay.ClientContainer(0, 40000), DefaultMemaslapConfig())
+		ms.Start(client, 0)
+		if busy {
+			fl := traffic.NewUDPFlood(eng, host, host.AddContainer("bg"), overlay.ClientContainer(1, 41000), 5001, 300_000)
+			fl.Burst = 96
+			fl.Poisson = false
+			if err := fl.InstallSink(600); err != nil {
+				t.Fatal(err)
+			}
+			fl.Start(0)
+		}
+		if err := eng.Run(300 * sim.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+		return ms.ThroughputOps()
+	}
+	idle, busy := run(false), run(true)
+	if busy > idle*0.6 {
+		t.Errorf("busy tput %.0f vs idle %.0f: expected a collapse (paper -80%%)", busy, idle)
+	}
+}
+
+func TestClientMACDerivation(t *testing.T) {
+	ip := pkt.Addr(172, 17, 100, 2)
+	want := overlay.ClientContainer(0, 1).MAC
+	if got := clientMACFor(ip); got != want {
+		t.Errorf("clientMACFor(%v) = %v, want %v", ip, got, want)
+	}
+}

@@ -1,0 +1,176 @@
+// Package webserver models the Fig. 13 application benchmark: an
+// nginx-style static server in a container, driven by a wrk2-style
+// constant-rate HTTP client over a single connection.
+//
+// HTTP runs over the simulated TCP path; each request is one segment and
+// each response (a <1 KB static page) one segment. wrk2's signature
+// behaviour is preserved: requests are sent on schedule regardless of
+// outstanding responses, and latency is measured from the *scheduled* send
+// time, avoiding coordinated omission.
+package webserver
+
+import (
+	"prism/internal/overlay"
+	"prism/internal/pkt"
+	"prism/internal/sim"
+	"prism/internal/socket"
+	"prism/internal/stats"
+)
+
+// Port is the HTTP service port.
+const Port = 80
+
+// ServerConfig sets the nginx-like costs and the page served.
+type ServerConfig struct {
+	// ParseCost covers request parsing + handler dispatch; WriteCost the
+	// response construction (charged together per request).
+	RequestCost sim.Time
+	// PageSize is the static response body (paper: <1 KB HTML).
+	PageSize int
+}
+
+// DefaultServerConfig mirrors nginx serving a small static file.
+func DefaultServerConfig() ServerConfig {
+	return ServerConfig{
+		RequestCost: 8 * sim.Microsecond,
+		PageSize:    900,
+	}
+}
+
+// Server is the nginx container app.
+type Server struct {
+	cfg ServerConfig
+	ctr *overlay.Container
+
+	Requests uint64
+}
+
+// InstallServer binds the server on the container's TCP port 80.
+func InstallServer(ctr *overlay.Container, cfg ServerConfig) (*Server, error) {
+	s := &Server{cfg: cfg, ctr: ctr}
+	app := socket.AppFunc{
+		Cost: func(socket.Message) sim.Time { return s.cfg.RequestCost },
+		Fn:   s.onRequest,
+	}
+	if _, err := ctr.Bind(pkt.ProtoTCP, Port, app, 4096); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func (s *Server) onRequest(done sim.Time, m socket.Message) {
+	if len(m.Payload) < pkt.ProbeLen {
+		return
+	}
+	s.Requests++
+	body := make([]byte, pkt.ProbeLen+s.cfg.PageSize)
+	copy(body, m.Payload[:pkt.ProbeLen]) // echo the probe ahead of the page
+	dst := overlay.RemoteEndpoint{
+		IP:   m.From.SrcIP,
+		Port: m.From.SrcPort,
+		MAC:  pkt.MAC{0x02, 0x42, m.From.SrcIP[0], m.From.SrcIP[1], m.From.SrcIP[2], m.From.SrcIP[3]},
+	}
+	s.ctr.SendTCP(done, dst, Port, 0, body)
+}
+
+// Wrk2Config parameterizes the client.
+type Wrk2Config struct {
+	// Rate is requests per second over the single connection.
+	Rate float64
+	// ClientTx/ClientRx are the unloaded client-machine constants.
+	ClientTx sim.Time
+	ClientRx sim.Time
+	// Warmup discards samples scheduled before it.
+	Warmup sim.Time
+}
+
+// DefaultWrk2Config uses a light constant request rate, as the paper's
+// single-connection wrk2 run.
+func DefaultWrk2Config() Wrk2Config {
+	return Wrk2Config{
+		Rate:     2000,
+		ClientTx: 8 * sim.Microsecond,
+		ClientRx: 22 * sim.Microsecond,
+	}
+}
+
+// Wrk2 is the constant-rate HTTP client.
+type Wrk2 struct {
+	cfg Wrk2Config
+
+	eng  *sim.Engine
+	host *overlay.Host
+	ctr  *overlay.Container
+	src  overlay.RemoteEndpoint
+
+	// Hist records full round-trip latency, measured from the scheduled
+	// send time (coordinated-omission-free, as wrk2 does).
+	Hist *stats.Histogram
+
+	Sent      uint64
+	Completed uint64
+
+	seq     uint64
+	stopped bool
+	lastAt  sim.Time
+	firstAt sim.Time
+}
+
+// NewWrk2 builds the client against the nginx container.
+func NewWrk2(eng *sim.Engine, host *overlay.Host, ctr *overlay.Container,
+	src overlay.RemoteEndpoint, cfg Wrk2Config) *Wrk2 {
+	return &Wrk2{cfg: cfg, eng: eng, host: host, ctr: ctr, src: src, Hist: stats.NewHistogram(), firstAt: -1}
+}
+
+// Start registers the reply handler and begins the schedule.
+func (w *Wrk2) Start(client interface {
+	Register(port uint16, fn func(sim.Time, []byte, pkt.FlowKey))
+}, at sim.Time) {
+	client.Register(w.src.Port, w.onResponse)
+	w.eng.At(at, w.sendNext)
+}
+
+// Stop ends the schedule.
+func (w *Wrk2) Stop() { w.stopped = true }
+
+// ThroughputReqs returns completed requests/sec over the sampled window.
+func (w *Wrk2) ThroughputReqs() float64 {
+	window := w.lastAt - w.firstAt
+	if window <= 0 || w.firstAt < 0 {
+		return 0
+	}
+	return float64(w.Completed) / window.Seconds()
+}
+
+func (w *Wrk2) sendNext() {
+	if w.stopped {
+		return
+	}
+	now := w.eng.Now()
+	w.seq++
+	w.Sent++
+	payload := make([]byte, pkt.ProbeLen+26)
+	pkt.PutProbe(payload, w.seq, now)
+	copy(payload[pkt.ProbeLen:], "GET /index.html HTTP/1.1\r\n")
+	frame := overlay.EncapTCPToServer(w.src, w.ctr, Port, uint32(w.seq), payload)
+	arrive := now + w.cfg.ClientTx + w.host.Costs.WireLatency + w.host.Costs.Serialization(len(frame))
+	f := frame
+	w.eng.At(arrive, func() { w.host.InjectFromWire(w.eng.Now(), f) })
+	w.eng.After(sim.Time(float64(sim.Second)/w.cfg.Rate), w.sendNext)
+}
+
+func (w *Wrk2) onResponse(now sim.Time, payload []byte, _ pkt.FlowKey) {
+	_, sentAt, err := pkt.ParseProbe(payload)
+	if err != nil {
+		return
+	}
+	if sentAt < w.cfg.Warmup {
+		return
+	}
+	w.Hist.Record(now + w.cfg.ClientRx - sentAt)
+	w.Completed++
+	if w.firstAt < 0 {
+		w.firstAt = now
+	}
+	w.lastAt = now
+}

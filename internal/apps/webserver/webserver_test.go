@@ -1,0 +1,126 @@
+package webserver
+
+import (
+	"testing"
+
+	"prism/internal/cpu"
+	"prism/internal/nic"
+	"prism/internal/overlay"
+	"prism/internal/prio"
+	"prism/internal/sim"
+	"prism/internal/traffic"
+)
+
+func newRig(t *testing.T, mode prio.Mode) (*sim.Engine, *overlay.Host, *traffic.Client, *overlay.Container, *Server) {
+	t.Helper()
+	eng := sim.NewEngine(5)
+	host := overlay.NewHost(eng, overlay.Config{
+		Mode: mode, CStates: cpu.C1, AppCStates: cpu.C1,
+		NIC: nic.Config{RxUsecs: 8 * sim.Microsecond, RxFrames: 32, AdaptiveIdle: 100 * sim.Microsecond, GRO: true},
+	})
+	client := traffic.NewClient(host)
+	ctr := host.AddContainer("nginx")
+	srv, err := InstallServer(ctr, DefaultServerConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, host, client, ctr, srv
+}
+
+func TestRequestResponse(t *testing.T) {
+	eng, host, client, ctr, srv := newRig(t, prio.ModeVanilla)
+	cfg := DefaultWrk2Config()
+	cfg.Rate = 1000
+	w := NewWrk2(eng, host, ctr, overlay.ClientContainer(0, 40000), cfg)
+	w.Start(client, 0)
+	if err := eng.Run(100 * sim.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if w.Sent < 99 || w.Sent > 101 {
+		t.Errorf("Sent = %d, want ~100", w.Sent)
+	}
+	if w.Completed < w.Sent-2 {
+		t.Errorf("Completed = %d of %d on an idle server", w.Completed, w.Sent)
+	}
+	if srv.Requests != w.Completed {
+		t.Errorf("server requests %d != completions %d", srv.Requests, w.Completed)
+	}
+	if w.Hist.Count() == 0 {
+		t.Fatal("no latency samples")
+	}
+	med := w.Hist.Median()
+	if med < 30*sim.Microsecond || med > 300*sim.Microsecond {
+		t.Errorf("idle HTTP median = %v, want ~100µs scale", med)
+	}
+	if w.ThroughputReqs() < 500 {
+		t.Errorf("throughput = %.0f req/s", w.ThroughputReqs())
+	}
+}
+
+func TestWrk2Stop(t *testing.T) {
+	eng, host, client, ctr, _ := newRig(t, prio.ModeVanilla)
+	cfg := DefaultWrk2Config()
+	cfg.Rate = 1000
+	w := NewWrk2(eng, host, ctr, overlay.ClientContainer(0, 40000), cfg)
+	w.Start(client, 0)
+	eng.At(10*sim.Millisecond, w.Stop)
+	if err := eng.Run(100 * sim.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if w.Sent > 12 {
+		t.Errorf("Sent = %d after Stop at 10ms", w.Sent)
+	}
+}
+
+func TestWarmupFiltering(t *testing.T) {
+	eng, host, client, ctr, _ := newRig(t, prio.ModeVanilla)
+	cfg := DefaultWrk2Config()
+	cfg.Rate = 1000
+	cfg.Warmup = 50 * sim.Millisecond
+	w := NewWrk2(eng, host, ctr, overlay.ClientContainer(0, 40000), cfg)
+	w.Start(client, 0)
+	if err := eng.Run(100 * sim.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if w.Hist.Count() == 0 || w.Hist.Count() >= w.Sent {
+		t.Errorf("warmup filtering broken: %d samples of %d sent", w.Hist.Count(), w.Sent)
+	}
+}
+
+func TestBusyLatencyRises(t *testing.T) {
+	run := func(busy bool) sim.Time {
+		eng, host, client, ctr, _ := newRig(t, prio.ModeVanilla)
+		w := NewWrk2(eng, host, ctr, overlay.ClientContainer(0, 40000), DefaultWrk2Config())
+		w.Start(client, 0)
+		if busy {
+			st := traffic.NewTCPStream(eng, host, host.AddContainer("bg"), overlay.ClientContainer(1, 41000), 5201, 55_000)
+			if err := st.InstallSink(600); err != nil {
+				t.Fatal(err)
+			}
+			st.Start(0)
+		}
+		if err := eng.Run(200 * sim.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+		return w.Hist.Mean()
+	}
+	idle, busy := run(false), run(true)
+	if busy <= idle {
+		t.Errorf("busy mean %v <= idle mean %v", busy, idle)
+	}
+}
+
+func TestShortRequestIgnored(t *testing.T) {
+	eng, host, _, ctr, srv := newRig(t, prio.ModeVanilla)
+	// A request with no probe must not crash or be served.
+	eng.At(0, func() {
+		host.InjectFromWire(0, overlay.EncapTCPToServer(
+			overlay.ClientContainer(0, 40000), ctr, Port, 0, []byte("x")))
+	})
+	if err := eng.Run(10 * sim.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if srv.Requests != 0 {
+		t.Errorf("short request served: %d", srv.Requests)
+	}
+}

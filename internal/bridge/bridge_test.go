@@ -1,0 +1,116 @@
+package bridge
+
+import (
+	"testing"
+
+	"prism/internal/netdev"
+	"prism/internal/pkt"
+	"prism/internal/sim"
+)
+
+var (
+	macA = pkt.MAC{0x02, 0x42, 0, 0, 0, 0xA}
+	macB = pkt.MAC{0x02, 0x42, 0, 0, 0, 0xB}
+	macC = pkt.MAC{0x02, 0x42, 0, 0, 0, 0xC}
+)
+
+func frameTo(dst pkt.MAC, src pkt.MAC) []byte {
+	return pkt.BuildUDPFrame(pkt.UDPFrameSpec{
+		SrcMAC: src, DstMAC: dst,
+		SrcIP: pkt.Addr(172, 17, 0, 9), DstIP: pkt.Addr(172, 17, 0, 10),
+		SrcPort: 1, DstPort: 2, Payload: []byte("x"),
+	})
+}
+
+func dummyDev(name string) *netdev.Device {
+	return netdev.NewDevice(name, netdev.DriverBacklog, netdev.HandlerFunc(
+		func(sim.Time, *pkt.SKB) netdev.Result {
+			return netdev.Result{Verdict: netdev.VerdictDrop}
+		}), 16)
+}
+
+func TestForwardByStaticFDB(t *testing.T) {
+	b := New("br0", netdev.DefaultCosts())
+	vA := dummyDev("vethA")
+	b.AddPort(vA)
+	b.LearnStatic(macA, vA)
+
+	skb := &pkt.SKB{Data: frameTo(macA, macB)}
+	res := b.handle(0, skb)
+	if res.Verdict != netdev.VerdictForward || res.Next != vA {
+		t.Fatalf("result = %+v", res)
+	}
+	if res.Cost != netdev.DefaultCosts().BridgePacket {
+		t.Errorf("cost = %v", res.Cost)
+	}
+	if b.FDBLen() != 1 {
+		t.Errorf("FDBLen = %d", b.FDBLen())
+	}
+}
+
+func TestUnknownUnicastCounted(t *testing.T) {
+	b := New("br0", netdev.DefaultCosts())
+	res := b.handle(0, &pkt.SKB{Data: frameTo(macC, macB)})
+	if res.Verdict != netdev.VerdictDrop {
+		t.Fatalf("verdict = %v", res.Verdict)
+	}
+	if b.Unknown != 1 {
+		t.Errorf("Unknown = %d", b.Unknown)
+	}
+}
+
+func TestBroadcastFlood(t *testing.T) {
+	b := New("br0", netdev.DefaultCosts())
+	res := b.handle(0, &pkt.SKB{Data: frameTo(pkt.BroadcastMAC, macB)})
+	if res.Verdict != netdev.VerdictDrop {
+		t.Fatalf("verdict = %v", res.Verdict)
+	}
+	if b.Flooded != 1 {
+		t.Errorf("Flooded = %d", b.Flooded)
+	}
+}
+
+func TestGarbageFrameDrops(t *testing.T) {
+	b := New("br0", netdev.DefaultCosts())
+	if res := b.handle(0, &pkt.SKB{Data: []byte{1}}); res.Verdict != netdev.VerdictDrop {
+		t.Errorf("verdict = %v", res.Verdict)
+	}
+}
+
+func TestFDBAging(t *testing.T) {
+	b := New("br0", netdev.DefaultCosts())
+	vA := dummyDev("vethA")
+	// Dynamic entry: seen timestamp set.
+	b.fdb[macA] = fdbEntry{port: vA, seen: 0}
+	if b.Lookup(DefaultAging/2, macA) != vA {
+		t.Error("entry aged too early")
+	}
+	if b.Lookup(DefaultAging+1, macA) != nil {
+		t.Error("entry survived past aging")
+	}
+	if b.FDBLen() != 0 {
+		t.Error("aged entry not removed")
+	}
+	// Static entries (seen < 0) never age.
+	b.LearnStatic(macB, vA)
+	if b.Lookup(10*DefaultAging, macB) != vA {
+		t.Error("static entry aged")
+	}
+}
+
+func TestDynamicRefreshOnTraffic(t *testing.T) {
+	b := New("br0", netdev.DefaultCosts())
+	vA := dummyDev("vethA")
+	vB := dummyDev("vethB")
+	b.LearnStatic(macA, vA)
+	b.fdb[macB] = fdbEntry{port: vB, seen: 0}
+
+	// Traffic from B to A at time close to aging refreshes B's entry.
+	at := DefaultAging - sim.Second
+	if res := b.handle(at, &pkt.SKB{Data: frameTo(macA, macB)}); res.Verdict != netdev.VerdictForward {
+		t.Fatalf("verdict = %v", res.Verdict)
+	}
+	if b.Lookup(at+DefaultAging/2, macB) != vB {
+		t.Error("refreshed entry aged out")
+	}
+}

@@ -1,0 +1,299 @@
+// Package core implements PRISM, the paper's primary contribution: a
+// priority-aware, streamlined NAPI receive engine (Fig. 7 pseudocode).
+//
+// Differences from the vanilla engine (internal/napi):
+//
+//   - A single per-CPU poll list. There is no global→local move, so no
+//     synchronization delay, and devices can be inserted at the *head*.
+//   - Two input packet queues per device (high/low). napi_poll serves a
+//     batch exclusively from the high-priority queue when it is non-empty.
+//   - Stage transitions are priority-aware. High-priority packets go to the
+//     next device's high queue and move that device to the head of the poll
+//     list (PRISM-batch: batch-level preemption), or are processed through
+//     all remaining stages synchronously in the same context (PRISM-sync:
+//     run-to-completion).
+//
+// The paper's stage-1 limitation (§IV-D) is preserved: the physical NIC's
+// descriptor ring is a single FIFO, priorities are only known after the SKB
+// is allocated during the stage-1 poll, so differentiation begins at the
+// first stage *transition* — which is why PRISM helps multi-stage overlay
+// pipelines but not the single-stage host path (Fig. 10).
+package core
+
+import (
+	"prism/internal/cpu"
+	"prism/internal/napi"
+	"prism/internal/netdev"
+	"prism/internal/pkt"
+	"prism/internal/prio"
+	"prism/internal/sim"
+)
+
+// Engine is the PRISM per-CPU receive engine.
+type Engine struct {
+	eng   *sim.Engine
+	core  *cpu.Core
+	costs *netdev.Costs
+	db    *prio.DB
+
+	list []*netdev.Device // the single per-CPU poll list
+
+	pending   bool
+	running   bool
+	processed int
+
+	// lastStage tracks which device's code last ran on this core, for the
+	// I-cache stage-switch penalty (Costs.StageSwitch). PRISM-sync chains
+	// switch stages on every packet, which is where their throughput cost
+	// comes from.
+	lastStage *netdev.Device
+
+	stats napi.Stats
+
+	// OnPoll, when set, is invoked once per device-poll iteration.
+	OnPoll func(napi.PollObservation)
+}
+
+var _ netdev.Scheduler = (*Engine)(nil)
+
+// NewEngine returns a PRISM engine bound to a core. The prio.DB supplies
+// both the flow classification (used by stage-1 handlers) and the runtime
+// mode switch between PRISM-batch and PRISM-sync.
+func NewEngine(eng *sim.Engine, core *cpu.Core, costs *netdev.Costs, db *prio.DB) *Engine {
+	return &Engine{eng: eng, core: core, costs: costs, db: db}
+}
+
+// Stats returns a copy of the engine counters.
+func (e *Engine) Stats() napi.Stats { return e.stats }
+
+// SetOnPoll installs the per-iteration trace hook.
+func (e *Engine) SetOnPoll(fn func(napi.PollObservation)) { e.OnPoll = fn }
+
+// Core returns the processing core this engine runs on.
+func (e *Engine) Core() *cpu.Core { return e.core }
+
+// NotifyArrival implements netdev.Scheduler for the hardware-IRQ path.
+// The NIC cannot see packet priority (stage-1 limitation), so arriving
+// devices are appended to the tail.
+func (e *Engine) NotifyArrival(dev *netdev.Device, high bool) {
+	if dev.InPollList {
+		return
+	}
+	dev.InPollList = true
+	now := e.eng.Now()
+	start := e.core.Acquire(now)
+	e.core.Consume(start, e.costs.IRQ)
+	if high {
+		e.insertHead(dev)
+	} else {
+		e.list = append(e.list, dev)
+	}
+	if !e.running && !e.pending {
+		e.pending = true
+		e.eng.At(e.core.BusyUntil(), e.runSoftirq)
+	}
+}
+
+func (e *Engine) insertHead(dev *netdev.Device) {
+	e.list = append(e.list, nil)
+	copy(e.list[1:], e.list)
+	e.list[0] = dev
+}
+
+// moveToHead moves an already-listed device to the head.
+func (e *Engine) moveToHead(dev *netdev.Device) {
+	for i, d := range e.list {
+		if d == dev {
+			copy(e.list[1:i+1], e.list[:i])
+			e.list[0] = dev
+			return
+		}
+	}
+	// Device marked in-list but being polled right now (it will be
+	// re-enqueued by the poll loop); nothing to move.
+}
+
+// reraise schedules another softirq run after the yield delay.
+func (e *Engine) reraise(now sim.Time) {
+	if e.running || e.pending {
+		return
+	}
+	e.pending = true
+	e.eng.At(now+e.costs.SoftirqRestart, e.runSoftirq)
+}
+
+// runSoftirq is PRISM's net_rx_action (Fig. 7 lines 6–20). There is no
+// list synchronization step: devices are popped straight off the single
+// per-CPU list, which is what enables batch-level preemption.
+func (e *Engine) runSoftirq() {
+	e.pending = false
+	e.running = true
+	e.stats.SoftirqRuns++
+	e.processed = 0
+	e.pollNext()
+}
+
+func (e *Engine) pollNext() {
+	now := e.eng.Now()
+	if len(e.list) == 0 || e.processed >= e.costs.Budget {
+		e.finish(now)
+		return
+	}
+	dev := e.list[0]
+	e.list = e.list[1:]
+
+	start := e.core.BusyUntil()
+	if start < now {
+		start = e.core.Acquire(now)
+	}
+	n, total := e.pollDevice(dev, start)
+	end := e.core.Consume(start, total)
+	e.processed += n
+	e.stats.Iterations++
+
+	// Fig. 7 lines 13–16: devices with pending high-priority packets go
+	// back to the head; devices with only low-priority packets to the tail.
+	switch {
+	case !dev.HighQ.Empty():
+		e.insertHead(dev)
+	case !dev.LowQ.Empty():
+		e.list = append(e.list, dev)
+	default:
+		dev.InPollList = false
+	}
+	e.observe(now, dev)
+	e.eng.At(end, e.pollNext)
+}
+
+func (e *Engine) finish(now sim.Time) {
+	e.running = false
+	if len(e.list) > 0 {
+		e.reraise(now)
+	}
+}
+
+// pollDevice is PRISM's napi_poll (Fig. 7 lines 22–38): serve one batch
+// exclusively from the high-priority queue if it has packets, otherwise
+// from the low-priority queue.
+func (e *Engine) pollDevice(dev *netdev.Device, start sim.Time) (int, sim.Time) {
+	// Both queue flavours expose the dequeue surface; the high-priority
+	// queue additionally orders by level (§VII-3).
+	var q interface {
+		Dequeue() *pkt.SKB
+		Empty() bool
+	} = dev.LowQ
+	if !dev.HighQ.Empty() {
+		q = dev.HighQ
+	}
+	if q.Empty() {
+		return 0, 0
+	}
+	dev.Polls++
+	t := start + e.costs.BatchOverhead
+	count := 0
+	for count < e.costs.BatchSize {
+		skb := q.Dequeue()
+		if skb == nil {
+			break
+		}
+		// I-cache stage switch: once per batch ordinarily, but after a
+		// PRISM-sync run-to-completion chain the previous packet ended in
+		// the last stage's code, so every packet pays it again — the
+		// batching loss of §III-B1.
+		if e.lastStage != dev {
+			t += e.costs.StageSwitch
+			e.lastStage = dev
+		}
+		res := dev.Handler.HandlePacket(t, skb)
+		t += res.Cost
+		skb.Stage++
+		count++
+		e.stats.Packets++
+		dev.Processed++
+		t = e.applyTransition(skb, res, t)
+	}
+	return count, t - start
+}
+
+// applyTransition routes a processed packet according to its priority and
+// the current PRISM mode. It returns the updated batch cursor (PRISM-sync
+// accrues the remaining stages' costs inline).
+func (e *Engine) applyTransition(skb *pkt.SKB, res netdev.Result, t sim.Time) sim.Time {
+	for {
+		switch res.Verdict {
+		case netdev.VerdictForward:
+			next := res.Next
+			if skb.HighPriority {
+				if e.db.Mode() == prio.ModeSync {
+					// Run-to-completion: call the next stage's processing
+					// directly in this context (netif_receive_skb instead
+					// of netif_rx), bypassing its queue entirely. Every
+					// hop changes the instruction-cache working set.
+					if e.lastStage != next {
+						t += e.costs.StageSwitch
+						e.lastStage = next
+					}
+					res = next.Handler.HandlePacket(t, skb)
+					t += res.Cost
+					skb.Stage++
+					e.stats.Packets++
+					next.Processed++
+					continue
+				}
+				// PRISM-batch: high-priority queue + head insertion.
+				if !next.HighQ.Enqueue(skb) {
+					e.stats.Dropped++
+					return t
+				}
+				if next.InPollList {
+					e.moveToHead(next)
+				} else {
+					next.InPollList = true
+					e.insertHead(next)
+				}
+				return t
+			}
+			if !next.LowQ.Enqueue(skb) {
+				e.stats.Dropped++
+				return t
+			}
+			if !next.InPollList {
+				next.InPollList = true
+				e.list = append(e.list, next)
+			}
+			return t
+		case netdev.VerdictDeliver:
+			skb.Delivered = t
+			e.stats.Delivered++
+			if res.Deliver != nil {
+				deliver := res.Deliver
+				done := t
+				e.eng.At(done, func() { deliver(done) })
+			}
+			return t
+		case netdev.VerdictDrop:
+			e.stats.Dropped++
+			return t
+		case netdev.VerdictAbsorbed:
+			return t
+		default:
+			panic("core: handler returned invalid verdict")
+		}
+	}
+}
+
+func (e *Engine) observe(now sim.Time, dev *netdev.Device) {
+	if e.OnPoll == nil {
+		return
+	}
+	list := make([]string, 0, len(e.list))
+	for _, d := range e.list {
+		list = append(list, d.Name)
+	}
+	e.OnPoll(napi.PollObservation{
+		Time:      now,
+		Iteration: e.stats.Iterations,
+		Device:    dev.Name,
+		PollList:  list,
+	})
+}

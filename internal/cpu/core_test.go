@@ -1,0 +1,190 @@
+package cpu
+
+import (
+	"testing"
+	"testing/quick"
+
+	"prism/internal/sim"
+)
+
+func TestCoreBasicAccounting(t *testing.T) {
+	c := NewCore(0, nil)
+	if !c.IdleAt(0) {
+		t.Error("new core not idle")
+	}
+	start := c.Acquire(100)
+	if start != 100 {
+		t.Errorf("Acquire = %v, want 100 (no C-states)", start)
+	}
+	end := c.Consume(start, 50)
+	if end != 150 {
+		t.Errorf("Consume end = %v, want 150", end)
+	}
+	if c.BusyUntil() != 150 {
+		t.Errorf("BusyUntil = %v", c.BusyUntil())
+	}
+	if c.BusyTotal() != 50 {
+		t.Errorf("BusyTotal = %v", c.BusyTotal())
+	}
+	if c.IdleAt(120) {
+		t.Error("core idle while busy")
+	}
+	if !c.IdleAt(150) {
+		t.Error("core busy after work drained")
+	}
+}
+
+func TestCoreQueuesWork(t *testing.T) {
+	c := NewCore(0, nil)
+	c.Consume(c.Acquire(0), 100)
+	// Work arriving at t=10 while busy until 100 starts at 100.
+	start := c.Acquire(10)
+	if start != 100 {
+		t.Errorf("Acquire while busy = %v, want 100", start)
+	}
+}
+
+func TestCoreCStateExit(t *testing.T) {
+	c := NewCore(0, C1)
+	c.Consume(c.Acquire(0), 10)
+	// Arrive shortly after going idle: no penalty.
+	start := c.Acquire(15)
+	if start != 15 {
+		t.Errorf("short-idle Acquire = %v, want 15", start)
+	}
+	c.Consume(start, 5)
+	// Arrive long after going idle: pay C1 exit latency.
+	arrive := sim.Time(20 + 100*sim.Microsecond)
+	start = c.Acquire(arrive)
+	want := arrive + C1[0].ExitLatency
+	if start != want {
+		t.Errorf("long-idle Acquire = %v, want %v", start, want)
+	}
+	if c.Wakeups[0] != 1 {
+		t.Errorf("Wakeups = %v, want [1]", c.Wakeups)
+	}
+}
+
+func TestCoreDeepStates(t *testing.T) {
+	c := NewCore(0, DeepStates)
+	// After 1ms idle the deepest qualifying state wins.
+	start := c.Acquire(sim.Millisecond)
+	want := sim.Millisecond + DeepStates[1].ExitLatency
+	if start != want {
+		t.Errorf("deep-idle Acquire = %v, want %v", start, want)
+	}
+	if c.Wakeups[1] != 1 {
+		t.Errorf("Wakeups = %v", c.Wakeups)
+	}
+}
+
+func TestCoreNextStartDoesNotReserve(t *testing.T) {
+	c := NewCore(0, C1)
+	got := c.NextStart(sim.Millisecond)
+	want := sim.Millisecond + C1[0].ExitLatency
+	if got != want {
+		t.Errorf("NextStart = %v, want %v", got, want)
+	}
+	if c.Wakeups[0] != 0 {
+		t.Error("NextStart counted a wakeup")
+	}
+	if c.BusyUntil() != 0 {
+		t.Error("NextStart reserved the core")
+	}
+	// While busy, NextStart returns busyUntil.
+	c.Consume(c.Acquire(sim.Millisecond), 100)
+	if got := c.NextStart(sim.Millisecond); got != c.BusyUntil() {
+		t.Errorf("NextStart while busy = %v", got)
+	}
+}
+
+func TestCoreConsumePanics(t *testing.T) {
+	t.Run("double booking", func(t *testing.T) {
+		c := NewCore(0, nil)
+		c.Consume(c.Acquire(0), 100)
+		defer func() {
+			if recover() == nil {
+				t.Error("double booking did not panic")
+			}
+		}()
+		c.Consume(50, 10)
+	})
+	t.Run("negative work", func(t *testing.T) {
+		c := NewCore(0, nil)
+		defer func() {
+			if recover() == nil {
+				t.Error("negative work did not panic")
+			}
+		}()
+		c.Consume(0, -1)
+	})
+}
+
+func TestCoreUtilization(t *testing.T) {
+	c := NewCore(0, nil)
+	c.ResetWindow(0)
+	// 600µs busy in a 1ms window.
+	var at sim.Time
+	for i := 0; i < 6; i++ {
+		start := c.Acquire(at)
+		c.Consume(start, 100*sim.Microsecond)
+		at += 170 * sim.Microsecond
+	}
+	u := c.Utilization(sim.Millisecond)
+	if u < 0.55 || u > 0.65 {
+		t.Errorf("Utilization = %v, want ~0.6", u)
+	}
+}
+
+func TestCoreUtilizationSaturated(t *testing.T) {
+	c := NewCore(0, nil)
+	c.ResetWindow(0)
+	c.Consume(c.Acquire(0), 10*sim.Millisecond) // scheduled way past the window
+	u := c.Utilization(sim.Millisecond)
+	if u != 1 {
+		t.Errorf("saturated Utilization = %v, want 1", u)
+	}
+}
+
+func TestCoreUtilizationEmptyWindow(t *testing.T) {
+	c := NewCore(0, nil)
+	c.ResetWindow(100)
+	if u := c.Utilization(100); u != 0 {
+		t.Errorf("zero-width window utilization = %v", u)
+	}
+	if u := c.Utilization(200); u != 0 {
+		t.Errorf("idle window utilization = %v", u)
+	}
+}
+
+// Property: busy ledger never exceeds elapsed time and utilization stays
+// in [0,1] for any arrival/cost pattern.
+func TestCoreLedgerProperty(t *testing.T) {
+	prop := func(steps []struct {
+		Gap  uint16
+		Cost uint16
+	}) bool {
+		c := NewCore(0, C1)
+		c.ResetWindow(0)
+		var now sim.Time
+		for _, s := range steps {
+			now += sim.Time(s.Gap)
+			start := c.Acquire(now)
+			end := c.Consume(start, sim.Time(s.Cost))
+			if end < now {
+				return false
+			}
+			if now < end {
+				now = end
+			}
+		}
+		if now > 0 && c.BusyTotal() > now {
+			return false
+		}
+		u := c.Utilization(now + 1)
+		return u >= 0 && u <= 1
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"prism/internal/prio"
+	"prism/internal/sim"
+	"prism/internal/traffic"
+)
+
+// BatchPoint is one (batch size) measurement of the §II-A1/§III-B
+// throughput↔latency tradeoff that motivates PRISM: growing the NAPI
+// weight amortizes per-poll overheads (throughput up) but multiplies the
+// queueing a packet suffers at every stage (latency up).
+type BatchPoint struct {
+	BatchSize int
+	// BusyMean is the high-priority flow's mean latency under background
+	// load in vanilla mode.
+	BusyMean sim.Time
+	// MaxKpps is the vanilla single-core delivery rate under overload.
+	MaxKpps float64
+}
+
+// AblationBatchResult sweeps the NAPI batch weight.
+type AblationBatchResult struct {
+	Points []BatchPoint
+}
+
+// AblationBatch runs the sweep. Linux's default weight is 64; the sweep
+// shows both smaller (latency-friendlier, slower) and larger settings.
+func AblationBatch(p Params, sizes []int) AblationBatchResult {
+	if len(sizes) == 0 {
+		sizes = []int{8, 16, 32, 64, 128}
+	}
+	var res AblationBatchResult
+	for _, size := range sizes {
+		kpps := batchThroughput(p, size)
+		// Measure latency at equal *relative* load (75% of this batch
+		// size's capacity); at a fixed absolute rate, small batches would
+		// just run hotter and the utilization effect would mask the
+		// batching-delay effect the sweep is about.
+		pl := p
+		pl.BGRate = kpps * 1e3 * 0.75
+		res.Points = append(res.Points, BatchPoint{
+			BatchSize: size,
+			BusyMean:  batchLatency(pl, size),
+			MaxKpps:   kpps,
+		})
+	}
+	return res
+}
+
+func batchLatency(p Params, batch int) sim.Time {
+	r := rigWithBatch(p, batch)
+	hi := r.Host.AddContainer("hi-srv")
+	pp := traffic.NewPingPong(r.Eng, r.Host, hi, clientSrc(0), PortHighPrio, p.HighRate)
+	pp.Warmup = p.Warmup
+	mustNoErr(pp.InstallEcho(p.EchoCost))
+	pp.Start(r.Client, 0)
+
+	bg := r.Host.AddContainer("bg-srv")
+	fl := traffic.NewUDPFlood(r.Eng, r.Host, bg, clientSrc(1), PortBackgrnd, p.BGRate)
+	fl.Burst = p.BGBurst
+	fl.Poisson = false
+	mustNoErr(fl.InstallSink(p.SinkCost))
+	fl.Start(0)
+
+	mustNoErr(r.Run(p))
+	return pp.Hist.Mean()
+}
+
+func batchThroughput(p Params, batch int) float64 {
+	r := rigWithBatch(p, batch)
+	ctr := r.Host.AddContainer("srv")
+	fl := traffic.NewUDPFlood(r.Eng, r.Host, ctr, clientSrc(1), PortBackgrnd, 900_000)
+	mustNoErr(fl.InstallSink(p.SinkCost))
+	r.Eng.At(p.Warmup, func() { fl.Delivered.Start(p.Warmup) })
+	fl.Start(0)
+	mustNoErr(r.Run(p))
+	return fl.Delivered.Kpps(r.Eng.Now())
+}
+
+func rigWithBatch(p Params, batch int) *Rig {
+	r := NewRig(p, prio.ModeVanilla)
+	r.Host.Costs.BatchSize = batch
+	return r
+}
+
+// String renders the sweep.
+func (r AblationBatchResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Ablation — NAPI batch weight (vanilla): throughput vs latency tradeoff\n")
+	fmt.Fprintf(&b, "%-10s %12s %12s\n", "batch", "tput(kpps)", "busy-mean(µs)")
+	for _, pt := range r.Points {
+		fmt.Fprintf(&b, "%-10d %12.0f %12.1f\n", pt.BatchSize, pt.MaxKpps, pt.BusyMean.Micros())
+	}
+	return b.String()
+}

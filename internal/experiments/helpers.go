@@ -1,0 +1,26 @@
+package experiments
+
+import (
+	"prism/internal/overlay"
+	"prism/internal/sim"
+	"prism/internal/socket"
+)
+
+// countingSink is a trivial app that counts messages at negligible cost;
+// used where the experiment only cares about the kernel path.
+type countingSink struct {
+	count uint64
+}
+
+func newCountingSink() *countingSink { return &countingSink{} }
+
+func (s *countingSink) ProcessingCost(socket.Message) sim.Time { return 200 }
+func (s *countingSink) OnMessage(_ sim.Time, _ socket.Message) { s.count++ }
+
+// overlayProbeFrame builds one client→container overlay frame with a
+// 64-byte payload, for pre-filling rings in trace experiments.
+func overlayProbeFrame(ctr *overlay.Container, i int) []byte {
+	payload := make([]byte, 64)
+	payload[0] = byte(i)
+	return overlay.EncapToServer(clientSrc(0), ctr, PortHighPrio, payload)
+}

@@ -1,0 +1,127 @@
+// Package experiments contains one harness per figure of the paper's
+// evaluation (§V). Each harness builds the full testbed — simulated server,
+// traffic generators, measured flows — runs it for a configured duration,
+// and returns the same rows/series the paper reports. EXPERIMENTS.md
+// records paper-vs-measured for every figure.
+package experiments
+
+import (
+	"prism/internal/cpu"
+	"prism/internal/nic"
+	"prism/internal/overlay"
+	"prism/internal/prio"
+	"prism/internal/sim"
+	"prism/internal/traffic"
+)
+
+// Well-known ports used across experiments, mirroring the real tools.
+const (
+	PortHighPrio  = 11111 // sockperf latency flow
+	PortBackgrnd  = 5001  // sockperf throughput flow
+	PortTCPStream = 5201  // sockperf TCP throughput flow
+	PortMemcached = 11211
+	PortHTTP      = 80
+)
+
+// Params are the shared knobs of the experiment harnesses.
+type Params struct {
+	// Seed drives every random choice; same seed, same results.
+	Seed uint64
+	// Warmup is discarded; Duration is the measured interval.
+	Warmup   sim.Time
+	Duration sim.Time
+
+	// HighRate is the high-priority latency flow's packet rate (paper: a
+	// constant 1000 pps).
+	HighRate float64
+	// BGRate is the low-priority background rate (paper: ~300 kpps,
+	// consuming 60–70% of the processing core).
+	BGRate float64
+	// LoadRate drives Fig. 8's latency measurement. The paper offers
+	// 300 kpps — which equals PRISM-sync's single-core capacity; at
+	// exactly capacity a discrete-event model pins the overload artifact,
+	// so the default measures at 90% of sync capacity (270 kpps), which
+	// keeps the paper's regime. See EXPERIMENTS.md.
+	LoadRate float64
+
+	// BGBurst is how many background frames arrive back-to-back per
+	// emission. The paper's busy latency distribution is tight (p99 close
+	// to the median, both ~5x idle), consistent with steady sender-side
+	// burst trains; see EXPERIMENTS.md for the calibration.
+	BGBurst int
+
+	// EchoCost is the sockperf server's per-request CPU; SinkCost the
+	// background receiver's per-message CPU.
+	EchoCost sim.Time
+	SinkCost sim.Time
+
+	// DriverPrio enables the §VII-1 extension: NIC-level priority rings
+	// (hardware flow steering), removing the stage-1 limitation. Off by
+	// default — the paper's prototype does not have it.
+	DriverPrio bool
+}
+
+// Default returns the calibrated defaults.
+func Default() Params {
+	return Params{
+		Seed:     42,
+		Warmup:   100 * sim.Millisecond,
+		Duration: sim.Second,
+		HighRate: 1000,
+		BGRate:   300_000,
+		BGBurst:  96,
+		LoadRate: 270_000,
+		EchoCost: 500 * sim.Nanosecond,
+		SinkCost: 600 * sim.Nanosecond,
+	}
+}
+
+// quick shrinks runtimes for unit tests.
+func (p Params) quick() Params {
+	p.Warmup = 20 * sim.Millisecond
+	p.Duration = 150 * sim.Millisecond
+	return p
+}
+
+// Rig is one fully wired testbed instance.
+type Rig struct {
+	Eng    *sim.Engine
+	Host   *overlay.Host
+	Client *traffic.Client
+}
+
+// NewRig builds the standard testbed for a mode: the paper's server
+// machine with C1-pinned cores and a ConnectX-5-like NIC (adaptive
+// interrupt moderation, GRO on).
+func NewRig(p Params, mode prio.Mode) *Rig {
+	eng := sim.NewEngine(p.Seed)
+	host := overlay.NewHost(eng, overlay.Config{
+		Mode:       mode,
+		CStates:    cpu.C1,
+		AppCStates: cpu.C1,
+		NIC: nic.Config{
+			RxUsecs:       8 * sim.Microsecond,
+			RxFrames:      32,
+			AdaptiveIdle:  100 * sim.Microsecond,
+			GRO:           true,
+			PriorityRings: p.DriverPrio,
+		},
+	})
+	return &Rig{Eng: eng, Host: host, Client: traffic.NewClient(host)}
+}
+
+// Run executes warmup + duration and resets the utilization window at the
+// end of warmup so Utilization reflects only the measured interval.
+func (r *Rig) Run(p Params) error {
+	r.Eng.At(p.Warmup, func() { r.Host.ProcCore.ResetWindow(p.Warmup) })
+	return r.Eng.Run(p.Warmup + p.Duration)
+}
+
+// Utilization returns the processing core's busy fraction over the
+// measured interval.
+func (r *Rig) Utilization() float64 {
+	return r.Host.ProcCore.Utilization(r.Eng.Now())
+}
+
+// Modes lists the three compared configurations in presentation order.
+var Modes = []prio.Mode{prio.ModeVanilla, prio.ModeBatch, prio.ModeSync}

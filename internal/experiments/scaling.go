@@ -1,0 +1,136 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"prism/internal/cpu"
+	"prism/internal/nic"
+	"prism/internal/overlay"
+	"prism/internal/prio"
+	"prism/internal/sim"
+	"prism/internal/stats"
+	"prism/internal/traffic"
+)
+
+// ScalingPoint is one RX-queue-count measurement.
+type ScalingPoint struct {
+	Queues int
+	// AggKpps is the aggregate delivered rate under overload (8 flows).
+	AggKpps float64
+	// HighBusyMean is the high-priority flow's mean latency when its flow
+	// happens to share an RX queue with the background flow — the case
+	// where RSS does not isolate and PRISM still matters.
+	HighBusyMean sim.Time
+	// HighBusyMeanPrism is the same with the PRISM-sync engine per queue.
+	HighBusyMeanPrism sim.Time
+}
+
+// ScalingResult evaluates multi-queue receive (RSS with per-core IRQ
+// affinity). The paper's §III-A motivates the vanilla two-list design by
+// multi-CPU scalability and observes that a single multi-stage flow
+// saturates one CPU regardless — RSS cannot split a flow, so priority
+// differentiation remains necessary whenever a latency-sensitive flow
+// hashes onto the same queue as a heavy one.
+type ScalingResult struct {
+	Points []ScalingPoint
+}
+
+// Scaling runs the evaluation over the queue counts (default 1, 2, 4).
+func Scaling(p Params, queues []int) ScalingResult {
+	if len(queues) == 0 {
+		queues = []int{1, 2, 4}
+	}
+	var res ScalingResult
+	for _, q := range queues {
+		res.Points = append(res.Points, ScalingPoint{
+			Queues:            q,
+			AggKpps:           scalingThroughput(p, q),
+			HighBusyMean:      scalingCollision(p, q, prio.ModeVanilla),
+			HighBusyMeanPrism: scalingCollision(p, q, prio.ModeSync),
+		})
+	}
+	return res
+}
+
+func scalingRig(p Params, mode prio.Mode, queues int) *Rig {
+	eng := sim.NewEngine(p.Seed)
+	host := overlay.NewHost(eng, overlay.Config{
+		Mode:     mode,
+		RxQueues: queues,
+		CStates:  cpu.C1, AppCStates: cpu.C1,
+		NIC: nic.Config{
+			RxUsecs: 8 * sim.Microsecond, RxFrames: 32,
+			AdaptiveIdle: 100 * sim.Microsecond, GRO: true,
+		},
+	})
+	return &Rig{Eng: eng, Host: host, Client: traffic.NewClient(host)}
+}
+
+// scalingThroughput overloads the server with 8 distinct flows and
+// reports the aggregate delivered rate.
+func scalingThroughput(p Params, queues int) float64 {
+	r := scalingRig(p, prio.ModeVanilla, queues)
+	ctr := r.Host.AddContainer("srv")
+	counter := stats.NewRateCounter("agg")
+	for f := 0; f < 8; f++ {
+		fl := traffic.NewUDPFlood(r.Eng, r.Host, ctr, clientSrc(10+f), uint16(5001+f), 150_000)
+		fl.Poisson = false
+		fl.Delivered = counter
+		mustNoErr(fl.InstallSink(p.SinkCost))
+		fl.Start(0)
+	}
+	r.Eng.At(p.Warmup, func() { counter.Start(p.Warmup) })
+	mustNoErr(r.Run(p))
+	return counter.Kpps(r.Eng.Now())
+}
+
+// scalingCollision measures the high-priority flow when it shares an RX
+// queue with the background flow (forced by probing source ports).
+func scalingCollision(p Params, queues int, mode prio.Mode) sim.Time {
+	r := scalingRig(p, mode, queues)
+	hi := r.Host.AddContainer("hi-srv")
+	bg := r.Host.AddContainer("bg-srv")
+	r.Host.DB.Add(prio.Rule{IP: hi.IP, Port: PortHighPrio})
+
+	bgSrc := clientSrc(1)
+	// Find a client endpoint whose flow to hi lands on the same RX queue
+	// as the background flow to bg.
+	bgQ := r.Host.QueueFor(overlay.EncapToServer(bgSrc, bg, PortBackgrnd, make([]byte, 64)))
+	hiSrc := bgSrc
+	for idx := 0; idx < 64; idx++ {
+		cand := overlay.ClientContainer(30, uint16(42000+idx))
+		if r.Host.QueueFor(overlay.EncapToServer(cand, hi, PortHighPrio, make([]byte, 64))) == bgQ {
+			hiSrc = cand
+			break
+		}
+	}
+
+	pp := traffic.NewPingPong(r.Eng, r.Host, hi, hiSrc, PortHighPrio, p.HighRate)
+	pp.Warmup = p.Warmup
+	mustNoErr(pp.InstallEcho(p.EchoCost))
+	pp.Start(r.Client, 0)
+
+	fl := traffic.NewUDPFlood(r.Eng, r.Host, bg, bgSrc, PortBackgrnd, p.BGRate)
+	fl.Burst = p.BGBurst
+	fl.Poisson = false
+	mustNoErr(fl.InstallSink(p.SinkCost))
+	fl.Start(0)
+
+	mustNoErr(r.Run(p))
+	return pp.Hist.Mean()
+}
+
+// String renders the table.
+func (r ScalingResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Scaling — RSS multi-queue receive (8-flow overload; colliding high-prio flow)\n")
+	fmt.Fprintf(&b, "%-8s %12s %22s %22s\n", "queues", "agg(kpps)", "collide-van-mean(µs)", "collide-sync-mean(µs)")
+	for _, pt := range r.Points {
+		fmt.Fprintf(&b, "%-8d %12.0f %22.1f %22.1f\n",
+			pt.Queues, pt.AggKpps, pt.HighBusyMean.Micros(), pt.HighBusyMeanPrism.Micros())
+	}
+	b.WriteString("RSS scales aggregate throughput but cannot split a flow: when the\n")
+	b.WriteString("latency-sensitive flow hashes onto the busy queue, PRISM is still needed.\n")
+	return b.String()
+}

@@ -1,0 +1,103 @@
+package netdev
+
+import "prism/internal/sim"
+
+// Costs is the central CPU cost model: every virtual-time charge in the
+// simulated kernel comes from one of these constants. The defaults are
+// calibrated so that the two absolute anchors the paper reports hold —
+// a single processing core sustains ~400 kpps through the overlay in
+// vanilla mode and ~300 kpps in PRISM-sync mode (Fig. 8) — and every other
+// result is left to emerge from the scheduling algorithms.
+type Costs struct {
+	// NICPacket is stage 1: driver RX, SKB allocation, priority
+	// classification and VXLAN identification/decapsulation.
+	NICPacket sim.Time
+	// BridgePacket is stage 2: gro_cells receive, FDB lookup, forwarding.
+	BridgePacket sim.Time
+	// VethPacket is stage 3: backlog processing, inner IP/transport
+	// receive, and socket enqueue.
+	VethPacket sim.Time
+	// HostPacket is the single-stage host-network path: IP/transport
+	// receive and socket enqueue directly from the NIC poll.
+	HostPacket sim.Time
+
+	// BatchOverhead is the fixed cost of one napi_poll invocation: softirq
+	// dispatch and list/queue manipulation. Amortized over up to BatchSize
+	// packets — part of the batching benefit of §III-B.
+	BatchOverhead sim.Time
+	// StageSwitch is the instruction-cache penalty paid when consecutive
+	// packet processing on a core changes stage (device): §III-B notes
+	// that "batching also helps to improve the L1 instruction cache
+	// locality". Vanilla pays it roughly once per batch per stage;
+	// PRISM-sync's run-to-completion chains pay it on *every* packet at
+	// *every* stage, which is exactly why its per-core throughput drops to
+	// ~300 kpps (Fig. 8).
+	StageSwitch sim.Time
+	// IRQ is the hardware-interrupt top half.
+	IRQ sim.Time
+	// SoftirqRestart is the scheduling delay before a re-raised softirq
+	// resumes after net_rx_action exhausts its budget (ksoftirqd handoff).
+	SoftirqRestart sim.Time
+	// GROPacket is the per-packet cost of the GRO merge attempt at the NIC
+	// stage; merged TCP segments then traverse later stages as one SKB.
+	GROPacket sim.Time
+
+	// AppWakeup is the latency from socket enqueue to the blocked
+	// application thread running (scheduler wakeup + cross-core IPI).
+	AppWakeup sim.Time
+	// AppTx is the cost of sending one reply through the egress stack,
+	// charged to the application core (the egress path is outside PRISM's
+	// scope, §VII).
+	AppTx sim.Time
+
+	// WireLatency is the one-way point-to-point link latency, including
+	// both NICs' fixed forwarding delay.
+	WireLatency sim.Time
+	// LinkBandwidthBps is the link speed for serialization delay.
+	LinkBandwidthBps int64
+
+	// BatchSize is the NAPI per-device batch ("weight"), 64 in Linux.
+	BatchSize int
+	// Budget is the NAPI softirq budget, 300 in Linux.
+	Budget int
+}
+
+// DefaultCosts returns the calibrated model for the paper's testbed
+// (Xeon Silver 4114 @2.2 GHz, ConnectX-5 100 GbE, Linux 5.4).
+func DefaultCosts() *Costs {
+	return &Costs{
+		NICPacket:    900 * sim.Nanosecond,
+		BridgePacket: 700 * sim.Nanosecond,
+		VethPacket:   800 * sim.Nanosecond,
+		HostPacket:   1600 * sim.Nanosecond,
+
+		BatchOverhead:  700 * sim.Nanosecond,
+		StageSwitch:    300 * sim.Nanosecond,
+		IRQ:            1200 * sim.Nanosecond,
+		SoftirqRestart: 1500 * sim.Nanosecond,
+		GROPacket:      150 * sim.Nanosecond,
+
+		AppWakeup: 4 * sim.Microsecond,
+		AppTx:     2500 * sim.Nanosecond,
+
+		WireLatency:      2 * sim.Microsecond,
+		LinkBandwidthBps: 100e9,
+
+		BatchSize: 64,
+		Budget:    300,
+	}
+}
+
+// OverlayPerPacket returns the summed per-packet protocol cost of the
+// three-stage overlay path, excluding batch overheads.
+func (c *Costs) OverlayPerPacket() sim.Time {
+	return c.NICPacket + c.BridgePacket + c.VethPacket
+}
+
+// Serialization returns the wire serialization delay of a frame of n bytes.
+func (c *Costs) Serialization(n int) sim.Time {
+	if c.LinkBandwidthBps <= 0 {
+		return 0
+	}
+	return sim.Time(int64(n) * 8 * int64(sim.Second) / c.LinkBandwidthBps)
+}

@@ -1,0 +1,193 @@
+package netdev
+
+import (
+	"testing"
+	"testing/quick"
+
+	"prism/internal/pkt"
+	"prism/internal/sim"
+)
+
+func TestQueueFIFO(t *testing.T) {
+	q := NewQueue(10)
+	for i := uint64(0); i < 5; i++ {
+		if !q.Enqueue(&pkt.SKB{ID: i}) {
+			t.Fatalf("enqueue %d failed", i)
+		}
+	}
+	if q.Len() != 5 {
+		t.Errorf("Len = %d", q.Len())
+	}
+	if q.Peek().ID != 0 {
+		t.Errorf("Peek ID = %d", q.Peek().ID)
+	}
+	for i := uint64(0); i < 5; i++ {
+		s := q.Dequeue()
+		if s == nil || s.ID != i {
+			t.Fatalf("dequeue %d = %v", i, s)
+		}
+	}
+	if !q.Empty() || q.Dequeue() != nil || q.Peek() != nil {
+		t.Error("drained queue not empty")
+	}
+}
+
+func TestQueueDropsWhenFull(t *testing.T) {
+	q := NewQueue(2)
+	q.Enqueue(&pkt.SKB{ID: 1})
+	q.Enqueue(&pkt.SKB{ID: 2})
+	if q.Enqueue(&pkt.SKB{ID: 3}) {
+		t.Error("enqueue into full queue succeeded")
+	}
+	if q.Dropped != 1 {
+		t.Errorf("Dropped = %d", q.Dropped)
+	}
+	if q.Enqueued != 2 {
+		t.Errorf("Enqueued = %d", q.Enqueued)
+	}
+	q.Dequeue()
+	if !q.Enqueue(&pkt.SKB{ID: 4}) {
+		t.Error("enqueue after dequeue failed")
+	}
+}
+
+func TestQueueCompaction(t *testing.T) {
+	q := NewQueue(1 << 20)
+	// Drive enough churn to trigger compaction and verify order survives.
+	next := uint64(0)
+	var expect uint64
+	for round := 0; round < 50; round++ {
+		for i := 0; i < 100; i++ {
+			q.Enqueue(&pkt.SKB{ID: next})
+			next++
+		}
+		for i := 0; i < 90; i++ {
+			s := q.Dequeue()
+			if s.ID != expect {
+				t.Fatalf("order broken: got %d want %d", s.ID, expect)
+			}
+			expect++
+		}
+	}
+	for !q.Empty() {
+		s := q.Dequeue()
+		if s.ID != expect {
+			t.Fatalf("tail order broken: got %d want %d", s.ID, expect)
+		}
+		expect++
+	}
+	if expect != next {
+		t.Errorf("drained %d packets, enqueued %d", expect, next)
+	}
+}
+
+func TestQueueZeroCapPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewQueue(0) did not panic")
+		}
+	}()
+	NewQueue(0)
+}
+
+// Property: queue preserves FIFO order and conserves packets under any
+// enqueue/dequeue interleaving.
+func TestQueueConservationProperty(t *testing.T) {
+	prop := func(ops []bool) bool {
+		q := NewQueue(64)
+		var in, out uint64
+		for _, enq := range ops {
+			if enq {
+				if q.Enqueue(&pkt.SKB{ID: in}) {
+					in++
+				}
+			} else if s := q.Dequeue(); s != nil {
+				if s.ID != out {
+					return false
+				}
+				out++
+			}
+		}
+		return int(in-out) == q.Len()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeviceBasics(t *testing.T) {
+	h := HandlerFunc(func(now sim.Time, s *pkt.SKB) Result {
+		return Result{Verdict: VerdictDrop, Cost: 100}
+	})
+	d := NewDevice("eth0", DriverNIC, h, 16)
+	if d.HasPackets() {
+		t.Error("new device has packets")
+	}
+	d.LowQ.Enqueue(&pkt.SKB{ID: 1})
+	if !d.HasPackets() || d.QueuedPackets() != 1 {
+		t.Error("LowQ packet not visible")
+	}
+	d.HighQ.Enqueue(&pkt.SKB{ID: 2})
+	if d.QueuedPackets() != 2 {
+		t.Error("HighQ packet not counted")
+	}
+	if d.String() != "eth0" {
+		t.Errorf("String = %q", d.String())
+	}
+	res := d.Handler.HandlePacket(0, &pkt.SKB{})
+	if res.Verdict != VerdictDrop || res.Cost != 100 {
+		t.Errorf("handler result = %+v", res)
+	}
+}
+
+func TestDriverKindString(t *testing.T) {
+	tests := []struct {
+		k    DriverKind
+		want string
+	}{
+		{DriverNIC, "nic"},
+		{DriverGroCells, "gro_cells"},
+		{DriverBacklog, "backlog"},
+		{DriverKind(9), "driver(9)"},
+	}
+	for _, tt := range tests {
+		if got := tt.k.String(); got != tt.want {
+			t.Errorf("String(%d) = %q, want %q", int(tt.k), got, tt.want)
+		}
+	}
+}
+
+func TestDefaultCostsAnchors(t *testing.T) {
+	c := DefaultCosts()
+	// Anchor 1: vanilla overlay per-packet cost with full batching
+	// amortization (one batch overhead + one stage switch per stage per 64
+	// packets) sustains roughly 400 kpps on one core.
+	perPkt := c.OverlayPerPacket() + 3*(c.BatchOverhead+c.StageSwitch)/sim.Time(c.BatchSize)
+	kpps := 1e9 / float64(perPkt) / 1e3
+	if kpps < 380 || kpps > 450 {
+		t.Errorf("vanilla anchor = %.0f kpps, want ~400", kpps)
+	}
+	// Anchor 2: PRISM-sync forfeits batching — every packet switches the
+	// instruction cache through all three stages: ~300 kpps.
+	syncPerPkt := c.OverlayPerPacket() + 3*c.StageSwitch +
+		(c.BatchOverhead+c.StageSwitch)/sim.Time(c.BatchSize)
+	syncKpps := 1e9 / float64(syncPerPkt) / 1e3
+	if syncKpps < 270 || syncKpps > 330 {
+		t.Errorf("sync anchor = %.0f kpps, want ~300", syncKpps)
+	}
+	if kpps <= syncKpps {
+		t.Error("vanilla not faster than sync in raw throughput")
+	}
+}
+
+func TestCostsSerialization(t *testing.T) {
+	c := DefaultCosts()
+	// 1500B at 100Gbps = 120ns.
+	if got := c.Serialization(1500); got != 120 {
+		t.Errorf("Serialization(1500) = %v, want 120ns", got)
+	}
+	c.LinkBandwidthBps = 0
+	if got := c.Serialization(1500); got != 0 {
+		t.Errorf("Serialization with no bandwidth = %v", got)
+	}
+}

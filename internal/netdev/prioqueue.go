@@ -1,0 +1,92 @@
+package netdev
+
+import "prism/internal/pkt"
+
+// MaxPriorityLevels bounds the number of distinct high-priority classes
+// (§VII-3 of the paper discusses generalizing beyond two levels; this
+// implementation supports levels 1..MaxPriorityLevels, with 0 remaining
+// the best-effort class served from a device's LowQ).
+const MaxPriorityLevels = 8
+
+// PrioQueue is the high-priority input queue of a device, generalized to
+// multiple levels: a FIFO per level, dequeued highest-level-first. With
+// every packet at level 1 it behaves exactly like the paper's single
+// high-priority queue.
+type PrioQueue struct {
+	buckets [MaxPriorityLevels]*Queue
+	cap     int
+
+	// Dropped and Enqueued aggregate across levels.
+	Dropped  uint64
+	Enqueued uint64
+}
+
+// NewPrioQueue returns an empty multi-level queue; each level holds at
+// most capacity packets.
+func NewPrioQueue(capacity int) *PrioQueue {
+	if capacity <= 0 {
+		panic("netdev: prio queue capacity must be positive")
+	}
+	return &PrioQueue{cap: capacity}
+}
+
+// level clamps an SKB's priority into a bucket index (level 1 .. Max).
+func level(s *pkt.SKB) int {
+	l := s.Priority
+	if l < 1 {
+		l = 1
+	}
+	if l > MaxPriorityLevels {
+		l = MaxPriorityLevels
+	}
+	return l - 1
+}
+
+// Enqueue appends s to its level's FIFO, reporting false on overflow.
+func (q *PrioQueue) Enqueue(s *pkt.SKB) bool {
+	i := level(s)
+	if q.buckets[i] == nil {
+		q.buckets[i] = NewQueue(q.cap)
+	}
+	if !q.buckets[i].Enqueue(s) {
+		q.Dropped++
+		return false
+	}
+	q.Enqueued++
+	return true
+}
+
+// Dequeue removes and returns the oldest packet of the highest non-empty
+// level, or nil.
+func (q *PrioQueue) Dequeue() *pkt.SKB {
+	for i := MaxPriorityLevels - 1; i >= 0; i-- {
+		if b := q.buckets[i]; b != nil && !b.Empty() {
+			return b.Dequeue()
+		}
+	}
+	return nil
+}
+
+// Peek returns the packet Dequeue would return, without removing it.
+func (q *PrioQueue) Peek() *pkt.SKB {
+	for i := MaxPriorityLevels - 1; i >= 0; i-- {
+		if b := q.buckets[i]; b != nil && !b.Empty() {
+			return b.Peek()
+		}
+	}
+	return nil
+}
+
+// Len returns the total queued packets across levels.
+func (q *PrioQueue) Len() int {
+	n := 0
+	for _, b := range q.buckets {
+		if b != nil {
+			n += b.Len()
+		}
+	}
+	return n
+}
+
+// Empty reports whether no packets are queued at any level.
+func (q *PrioQueue) Empty() bool { return q.Len() == 0 }

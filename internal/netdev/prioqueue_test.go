@@ -1,0 +1,117 @@
+package netdev
+
+import (
+	"testing"
+	"testing/quick"
+
+	"prism/internal/pkt"
+)
+
+func TestPrioQueueSingleLevelFIFO(t *testing.T) {
+	q := NewPrioQueue(16)
+	for i := uint64(0); i < 5; i++ {
+		if !q.Enqueue(&pkt.SKB{ID: i, Priority: 1}) {
+			t.Fatal("enqueue failed")
+		}
+	}
+	for i := uint64(0); i < 5; i++ {
+		s := q.Dequeue()
+		if s == nil || s.ID != i {
+			t.Fatalf("dequeue %d = %v", i, s)
+		}
+	}
+	if !q.Empty() || q.Dequeue() != nil {
+		t.Error("queue not drained")
+	}
+}
+
+func TestPrioQueueLevelOrdering(t *testing.T) {
+	q := NewPrioQueue(16)
+	q.Enqueue(&pkt.SKB{ID: 1, Priority: 1})
+	q.Enqueue(&pkt.SKB{ID: 2, Priority: 3})
+	q.Enqueue(&pkt.SKB{ID: 3, Priority: 2})
+	q.Enqueue(&pkt.SKB{ID: 4, Priority: 3})
+	want := []uint64{2, 4, 3, 1} // level 3 first (FIFO within), then 2, then 1
+	if q.Peek().ID != 2 {
+		t.Errorf("Peek = %d", q.Peek().ID)
+	}
+	for _, id := range want {
+		if s := q.Dequeue(); s.ID != id {
+			t.Fatalf("got %d, want %d", s.ID, id)
+		}
+	}
+}
+
+func TestPrioQueueZeroPriorityClamped(t *testing.T) {
+	q := NewPrioQueue(4)
+	// Priority 0 and negative clamp to level 1; above max clamps to max.
+	q.Enqueue(&pkt.SKB{ID: 1, Priority: 0})
+	q.Enqueue(&pkt.SKB{ID: 2, Priority: 99})
+	if s := q.Dequeue(); s.ID != 2 {
+		t.Errorf("clamped max level not served first: %d", s.ID)
+	}
+	if s := q.Dequeue(); s.ID != 1 {
+		t.Errorf("clamped min level lost: %v", s)
+	}
+}
+
+func TestPrioQueueOverflowPerLevel(t *testing.T) {
+	q := NewPrioQueue(2)
+	q.Enqueue(&pkt.SKB{Priority: 1})
+	q.Enqueue(&pkt.SKB{Priority: 1})
+	if q.Enqueue(&pkt.SKB{Priority: 1}) {
+		t.Error("level-1 overflow accepted")
+	}
+	if q.Dropped != 1 {
+		t.Errorf("Dropped = %d", q.Dropped)
+	}
+	// Another level still has room.
+	if !q.Enqueue(&pkt.SKB{Priority: 2}) {
+		t.Error("level-2 enqueue failed")
+	}
+	if q.Len() != 3 {
+		t.Errorf("Len = %d", q.Len())
+	}
+}
+
+func TestPrioQueueCapPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewPrioQueue(0) did not panic")
+		}
+	}()
+	NewPrioQueue(0)
+}
+
+// Property: dequeue order is monotone non-increasing in level, FIFO within
+// a level, and conserves packets.
+func TestPrioQueueOrderProperty(t *testing.T) {
+	prop := func(levels []uint8) bool {
+		q := NewPrioQueue(len(levels) + 1)
+		for i, l := range levels {
+			q.Enqueue(&pkt.SKB{ID: uint64(i), Priority: int(l%3 + 1)})
+		}
+		lastLevel := MaxPriorityLevels + 1
+		lastIDByLevel := map[int]uint64{}
+		n := 0
+		for {
+			s := q.Dequeue()
+			if s == nil {
+				break
+			}
+			n++
+			if s.Priority > lastLevel {
+				return false // level went up
+			}
+			lastLevel = s.Priority
+			if prev, ok := lastIDByLevel[s.Priority]; ok && s.ID <= prev {
+				return false // FIFO within level violated
+			}
+			lastIDByLevel[s.Priority] = s.ID
+		}
+		return n == len(levels)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,76 @@
+// Package netdev defines the machinery shared by both receive engines
+// (vanilla NAPI in internal/napi and PRISM in internal/core): packet
+// queues, the network-device abstraction, per-stage processing results,
+// and the central CPU cost model.
+package netdev
+
+import "prism/internal/pkt"
+
+// Queue is a bounded FIFO of SKBs with drop accounting. It models a NIC RX
+// descriptor ring, the per-CPU backlog input_pkt_queue, or a gro_cells
+// queue, depending on capacity.
+type Queue struct {
+	items []*pkt.SKB
+	head  int
+	cap   int
+
+	// Dropped counts enqueue attempts rejected because the queue was full
+	// (ring overrun / netdev_max_backlog drop).
+	Dropped uint64
+	// Enqueued counts accepted packets.
+	Enqueued uint64
+}
+
+// NewQueue returns an empty queue holding at most capacity packets.
+// Capacity must be positive.
+func NewQueue(capacity int) *Queue {
+	if capacity <= 0 {
+		panic("netdev: queue capacity must be positive")
+	}
+	return &Queue{cap: capacity}
+}
+
+// Cap returns the queue capacity.
+func (q *Queue) Cap() int { return q.cap }
+
+// Len returns the number of queued packets.
+func (q *Queue) Len() int { return len(q.items) - q.head }
+
+// Empty reports whether the queue holds no packets.
+func (q *Queue) Empty() bool { return q.Len() == 0 }
+
+// Enqueue appends s, reporting false (and counting a drop) if full.
+func (q *Queue) Enqueue(s *pkt.SKB) bool {
+	if q.Len() >= q.cap {
+		q.Dropped++
+		return false
+	}
+	q.items = append(q.items, s)
+	q.Enqueued++
+	return true
+}
+
+// Dequeue removes and returns the oldest packet, or nil if empty.
+func (q *Queue) Dequeue() *pkt.SKB {
+	if q.Empty() {
+		return nil
+	}
+	s := q.items[q.head]
+	q.items[q.head] = nil
+	q.head++
+	// Compact once the dead prefix dominates, to bound memory.
+	if q.head > 64 && q.head*2 >= len(q.items) {
+		n := copy(q.items, q.items[q.head:])
+		q.items = q.items[:n]
+		q.head = 0
+	}
+	return s
+}
+
+// Peek returns the oldest packet without removing it, or nil if empty.
+func (q *Queue) Peek() *pkt.SKB {
+	if q.Empty() {
+		return nil
+	}
+	return q.items[q.head]
+}

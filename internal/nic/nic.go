@@ -1,0 +1,285 @@
+// Package nic models the physical network interface card and its stage-1
+// driver poll: DMA into a descriptor ring, interrupt moderation
+// (rx-usecs / rx-frames coalescing), GRO, priority classification at SKB
+// allocation, and the first processing stage — VXLAN identification and
+// decapsulation for overlay traffic, or direct protocol receive for host
+// traffic.
+//
+// Per the paper's stage-1 limitation (§IV-D), the ring itself is a single
+// FIFO: priority is determined here (the mlx5e_napi_poll analogue) but can
+// only influence the packet's treatment from the first stage *transition*
+// onward.
+package nic
+
+import (
+	"prism/internal/netdev"
+	"prism/internal/pkt"
+	"prism/internal/prio"
+	"prism/internal/sim"
+	"prism/internal/socket"
+)
+
+// DefaultRingSize matches a common mlx5 RX ring configuration.
+const DefaultRingSize = 1024
+
+// GROMaxSegs caps how many consecutive same-flow TCP segments merge into
+// one SKB (64 KB / MTU rounds to ~43; drivers often cap lower).
+const GROMaxSegs = 16
+
+// groFlushGap bounds the processing-time gap between two frames that may
+// still merge: consecutive packets inside one poll session are a few
+// hundred nanoseconds apart, while a new NAPI session (after
+// napi_complete, which flushes GRO) arrives several microseconds later.
+const groFlushGap = 2 * sim.Microsecond
+
+// Config parameterizes the NIC.
+type Config struct {
+	Name string
+	// HostIP is the NIC's own IPv4 address (outer/underlay address).
+	HostIP pkt.IPv4
+	// RingSize bounds the RX descriptor ring.
+	RingSize int
+	// RxUsecs and RxFrames configure interrupt moderation: an interrupt
+	// fires when RxFrames packets are pending or RxUsecs has elapsed since
+	// the first pending packet, whichever is sooner. Zero values disable
+	// moderation (interrupt per packet).
+	RxUsecs  sim.Time
+	RxFrames int
+	// AdaptiveIdle, when positive, models adaptive moderation (mlx5 CQE
+	// moderation default): if the NIC has been interrupt-quiet for this
+	// long, the next packet interrupts immediately — low latency at low
+	// rate, coalescing under load.
+	AdaptiveIdle sim.Time
+	// GRO enables receive offload merging for TCP flows.
+	GRO bool
+	// PriorityRings models the paper's §VII-1 future work: a driver/NIC
+	// that classifies flows in hardware (flow steering) and maintains a
+	// separate high-priority RX ring, removing the stage-1 limitation.
+	// Only PRISM engines exploit it; under vanilla all frames still go to
+	// the single FIFO ring.
+	PriorityRings bool
+}
+
+// NIC is the physical interface: a netdev.Device plus the DMA/IRQ front
+// end that feeds it.
+type NIC struct {
+	Dev *netdev.Device
+
+	eng   *sim.Engine
+	sched netdev.Scheduler
+	costs *netdev.Costs
+	cfg   Config
+
+	db *prio.DB
+	// bridge receives decapsulated overlay frames (stage 2); nil for a
+	// host-only NIC.
+	bridge *netdev.Device
+	// hostSockets demuxes non-encapsulated traffic addressed to HostIP.
+	hostSockets *socket.Table
+
+	// Interrupt moderation state.
+	pendingIRQ   int
+	irqTimer     *sim.Event
+	firstPending sim.Time
+	lastIRQ      sim.Time
+
+	// GRO state: current merge run. A run ends on a flow change, the seg
+	// cap, or a time gap (batch boundary).
+	groFlow pkt.FlowKey
+	groHead *pkt.SKB
+	groRun  int
+	groAt   sim.Time
+
+	nextID uint64
+
+	// Counters.
+	DMAd   uint64
+	IRQs   uint64
+	Merged uint64
+}
+
+// New builds the NIC and its stage-1 device.
+func New(eng *sim.Engine, sched netdev.Scheduler, costs *netdev.Costs, db *prio.DB,
+	hostSockets *socket.Table, cfg Config) *NIC {
+	if cfg.RingSize <= 0 {
+		cfg.RingSize = DefaultRingSize
+	}
+	n := &NIC{
+		eng:         eng,
+		sched:       sched,
+		costs:       costs,
+		cfg:         cfg,
+		db:          db,
+		hostSockets: hostSockets,
+		lastIRQ:     -sim.Second, // the first packet ever interrupts at once
+	}
+	n.Dev = netdev.NewDevice(cfg.Name, netdev.DriverNIC, netdev.HandlerFunc(n.handle), cfg.RingSize)
+	return n
+}
+
+// AttachBridge wires the overlay path: decapsulated frames are forwarded
+// to the bridge device.
+func (n *NIC) AttachBridge(br *netdev.Device) { n.bridge = br }
+
+// DMA places a received frame into the RX ring at time now (the link layer
+// calls this) and drives interrupt moderation.
+func (n *NIC) DMA(now sim.Time, frame []byte) {
+	skb := &pkt.SKB{Data: frame, Arrived: now, ID: n.nextID, GROSegs: 1}
+	n.nextID++
+	highRing := false
+	if n.cfg.PriorityRings {
+		// Hardware flow steering: classify before ring placement. The
+		// lookup itself costs no host CPU — that is the whole point of
+		// pushing it into the NIC.
+		if inner, ok := innerFrame(frame); ok {
+			if flow, err := pkt.ParseFlow(inner); err == nil {
+				if lvl := n.db.ClassifyLevel(flow); lvl > 0 {
+					skb.Priority = lvl
+					skb.HighPriority = true
+					highRing = true
+				}
+			}
+		}
+	}
+	enqueued := false
+	if highRing {
+		enqueued = n.Dev.HighQ.Enqueue(skb)
+	} else {
+		enqueued = n.Dev.LowQ.Enqueue(skb)
+	}
+	if !enqueued {
+		return // ring overrun; drop counted by the queue
+	}
+	n.DMAd++
+	if highRing && !n.Dev.InPollList {
+		// High-ring packets interrupt immediately, bypassing moderation.
+		n.fireHighIRQ()
+		return
+	}
+	if n.Dev.InPollList {
+		// NAPI is already scheduled/polling: IRQs for this queue are
+		// masked; the packet will be picked up by the poll loop.
+		return
+	}
+	if n.cfg.RxUsecs <= 0 && n.cfg.RxFrames <= 1 {
+		n.fireIRQ()
+		return
+	}
+	if n.cfg.AdaptiveIdle > 0 && now-n.lastIRQ >= n.cfg.AdaptiveIdle {
+		n.fireIRQ()
+		return
+	}
+	n.pendingIRQ++
+	if n.pendingIRQ == 1 {
+		n.firstPending = now
+		n.irqTimer = n.eng.At(now+n.cfg.RxUsecs, n.fireIRQ)
+	}
+	if n.pendingIRQ >= n.cfg.RxFrames {
+		n.fireIRQ()
+	}
+}
+
+// innerFrame strips VXLAN encapsulation for classification, returning the
+// frame whose flow identifies the application.
+func innerFrame(frame []byte) ([]byte, bool) {
+	if !pkt.IsVXLAN(frame) {
+		return frame, true
+	}
+	_, inner, err := pkt.Decapsulate(frame)
+	if err != nil {
+		return nil, false
+	}
+	return inner, true
+}
+
+// fireHighIRQ raises an interrupt for the high-priority ring, telling the
+// engine the device has urgent packets (head insertion in PRISM).
+func (n *NIC) fireHighIRQ() {
+	if n.irqTimer != nil {
+		n.eng.Cancel(n.irqTimer)
+		n.irqTimer = nil
+	}
+	n.pendingIRQ = 0
+	n.IRQs++
+	n.lastIRQ = n.eng.Now()
+	n.sched.NotifyArrival(n.Dev, true)
+}
+
+// fireIRQ raises the hardware interrupt (once) and resets moderation.
+func (n *NIC) fireIRQ() {
+	if n.irqTimer != nil {
+		n.eng.Cancel(n.irqTimer)
+		n.irqTimer = nil
+	}
+	n.pendingIRQ = 0
+	if n.Dev.InPollList {
+		return
+	}
+	n.IRQs++
+	n.lastIRQ = n.eng.Now()
+	n.sched.NotifyArrival(n.Dev, false)
+}
+
+// handle is the stage-1 poll processing for one SKB: GRO, classification,
+// then decap-and-forward (overlay) or protocol receive (host).
+func (n *NIC) handle(now sim.Time, skb *pkt.SKB) netdev.Result {
+	// Identify the flow this packet belongs to. For VXLAN traffic the
+	// priority database is matched against the *inner* flow — that is
+	// what identifies the container application (§IV-A).
+	encapsulated := pkt.IsVXLAN(skb.Data)
+	var inner []byte
+	if encapsulated {
+		vni, in, err := pkt.Decapsulate(skb.Data)
+		if err != nil {
+			return netdev.Result{Verdict: netdev.VerdictDrop, Cost: n.costs.NICPacket}
+		}
+		_ = vni // a single-VNI fabric; multi-VNI demux lives in the bridge FDB
+		inner = in
+	} else {
+		inner = skb.Data
+	}
+	flow, ferr := pkt.ParseFlow(inner)
+	if ferr != nil {
+		return netdev.Result{Verdict: netdev.VerdictDrop, Cost: n.costs.NICPacket}
+	}
+	skb.Flow = flow
+	skb.Encapsulated = encapsulated
+	// Priority classification happens exactly once, at SKB allocation in
+	// the physical device's poll context. (With PriorityRings the NIC has
+	// already classified in hardware; the software check is idempotent.)
+	skb.Priority = n.db.ClassifyLevel(flow)
+	skb.HighPriority = skb.Priority > 0
+
+	// GRO: merge consecutive same-flow TCP segments into the run head. A
+	// gap of more than ~one batch overhead means a new poll batch started,
+	// which flushes the GRO table (napi_complete does this in Linux).
+	if n.cfg.GRO && flow.Proto == pkt.ProtoTCP {
+		fresh := n.groHead != nil && n.groFlow == flow && n.groRun < GROMaxSegs &&
+			now-n.groAt <= groFlushGap
+		n.groAt = now
+		if fresh {
+			n.groHead.GROSegs++
+			n.groRun++
+			n.Merged++
+			return netdev.Result{Verdict: netdev.VerdictAbsorbed, Cost: n.costs.GROPacket}
+		}
+		n.groFlow = flow
+		n.groHead = skb
+		n.groRun = 1
+	} else {
+		n.groHead = nil
+	}
+
+	if encapsulated {
+		if n.bridge == nil {
+			return netdev.Result{Verdict: netdev.VerdictDrop, Cost: n.costs.NICPacket}
+		}
+		// Strip the outer headers: the inner frame proceeds to stage 2.
+		skb.Data = inner
+		skb.Encapsulated = false
+		return netdev.Result{Verdict: netdev.VerdictForward, Cost: n.costs.NICPacket, Next: n.bridge}
+	}
+
+	// Host network: single-stage receive straight to the socket.
+	return socket.DeliverToTable(n.hostSockets, n.costs.HostPacket, skb)
+}

@@ -1,0 +1,378 @@
+package nic
+
+import (
+	"testing"
+
+	"prism/internal/netdev"
+	"prism/internal/pkt"
+	"prism/internal/prio"
+	"prism/internal/sim"
+	"prism/internal/socket"
+)
+
+// fakeSched records NotifyArrival calls.
+type fakeSched struct {
+	calls []string
+}
+
+func (f *fakeSched) NotifyArrival(dev *netdev.Device, high bool) {
+	f.calls = append(f.calls, dev.Name)
+	dev.InPollList = true
+}
+
+var (
+	hostMAC = pkt.MAC{0x52, 0x54, 0, 0, 0, 1}
+	peerMAC = pkt.MAC{0x52, 0x54, 0, 0, 0, 2}
+	hostIP  = pkt.Addr(192, 168, 1, 2)
+	peerIP  = pkt.Addr(192, 168, 1, 3)
+	ctrAIP  = pkt.Addr(172, 17, 0, 2)
+	ctrBIP  = pkt.Addr(172, 17, 0, 3)
+	ctrAMAC = pkt.MAC{0x02, 0x42, 0, 0, 0, 2}
+	ctrBMAC = pkt.MAC{0x02, 0x42, 0, 0, 0, 3}
+)
+
+func newNIC(t *testing.T, cfg Config) (*sim.Engine, *fakeSched, *NIC, *prio.DB, *netdev.Device) {
+	t.Helper()
+	eng := sim.NewEngine(1)
+	fs := &fakeSched{}
+	db := prio.NewDB()
+	costs := netdev.DefaultCosts()
+	tbl := socket.NewTable("host")
+	cfg.Name = "eth0"
+	cfg.HostIP = hostIP
+	n := New(eng, fs, costs, db, tbl, cfg)
+	br := netdev.NewDevice("br0", netdev.DriverGroCells, netdev.HandlerFunc(
+		func(now sim.Time, s *pkt.SKB) netdev.Result {
+			return netdev.Result{Verdict: netdev.VerdictDrop, Cost: 1}
+		}), 1024)
+	n.AttachBridge(br)
+	return eng, fs, n, db, br
+}
+
+func overlayFrame(srcPort uint16, payload []byte) []byte {
+	inner := pkt.BuildUDPFrame(pkt.UDPFrameSpec{
+		SrcMAC: ctrBMAC, DstMAC: ctrAMAC, SrcIP: ctrBIP, DstIP: ctrAIP,
+		SrcPort: srcPort, DstPort: 11211, Payload: payload,
+	})
+	return pkt.Encapsulate(pkt.VXLANSpec{
+		OuterSrcMAC: peerMAC, OuterDstMAC: hostMAC,
+		OuterSrcIP: peerIP, OuterDstIP: hostIP,
+		SrcPort: 54000, VNI: 256,
+	}, inner)
+}
+
+func TestDMAEnqueuesAndInterrupts(t *testing.T) {
+	eng, fs, n, _, _ := newNIC(t, Config{})
+	eng.At(0, func() { n.DMA(0, overlayFrame(1000, []byte("hi"))) })
+	if err := eng.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	if n.Dev.LowQ.Len() != 1 {
+		t.Errorf("ring len = %d", n.Dev.LowQ.Len())
+	}
+	if len(fs.calls) != 1 || fs.calls[0] != "eth0" {
+		t.Errorf("NotifyArrival calls = %v", fs.calls)
+	}
+	if n.IRQs != 1 || n.DMAd != 1 {
+		t.Errorf("IRQs/DMAd = %d/%d", n.IRQs, n.DMAd)
+	}
+}
+
+func TestDMAWhilePollingSkipsIRQ(t *testing.T) {
+	eng, fs, n, _, _ := newNIC(t, Config{})
+	eng.At(0, func() {
+		n.DMA(0, overlayFrame(1000, nil))
+		n.DMA(0, overlayFrame(1001, nil)) // InPollList set by fake sched
+	})
+	if err := eng.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	if len(fs.calls) != 1 {
+		t.Errorf("NotifyArrival called %d times, want 1 (NAPI masks IRQs)", len(fs.calls))
+	}
+	if n.Dev.LowQ.Len() != 2 {
+		t.Errorf("ring holds %d", n.Dev.LowQ.Len())
+	}
+}
+
+func TestInterruptModerationTimer(t *testing.T) {
+	eng, fs, n, _, _ := newNIC(t, Config{RxUsecs: 8 * sim.Microsecond, RxFrames: 32})
+	eng.At(0, func() { n.DMA(0, overlayFrame(1000, nil)) })
+	if err := eng.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	if len(fs.calls) != 1 {
+		t.Fatalf("IRQ fired %d times", len(fs.calls))
+	}
+	// IRQ must have waited for the timer, not fired at t=0.
+	if eng.Now() != 8*sim.Microsecond {
+		t.Errorf("final time = %v, want 8µs (moderation timer)", eng.Now())
+	}
+}
+
+func TestInterruptModerationFrameThreshold(t *testing.T) {
+	eng, fs, n, _, _ := newNIC(t, Config{RxUsecs: sim.Millisecond, RxFrames: 4})
+	eng.At(0, func() {
+		for i := 0; i < 4; i++ {
+			n.DMA(0, overlayFrame(uint16(1000+i), nil))
+		}
+	})
+	if err := eng.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	if len(fs.calls) != 1 {
+		t.Fatalf("IRQ fired %d times, want 1", len(fs.calls))
+	}
+	if eng.Now() != 0 {
+		t.Errorf("IRQ at %v, want immediately at frame threshold", eng.Now())
+	}
+	if n.IRQs != 1 {
+		t.Errorf("IRQs = %d", n.IRQs)
+	}
+}
+
+func TestRingOverrunDrops(t *testing.T) {
+	eng, _, n, _, _ := newNIC(t, Config{RingSize: 4, RxUsecs: sim.Millisecond, RxFrames: 100})
+	eng.At(0, func() {
+		for i := 0; i < 10; i++ {
+			n.DMA(0, overlayFrame(uint16(1000+i), nil))
+		}
+	})
+	if err := eng.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	if n.Dev.LowQ.Dropped != 6 {
+		t.Errorf("ring dropped %d, want 6", n.Dev.LowQ.Dropped)
+	}
+}
+
+func TestHandleDecapsulatesAndClassifies(t *testing.T) {
+	_, _, n, db, br := newNIC(t, Config{})
+	db.Add(prio.Rule{IP: ctrAIP, Port: 11211})
+
+	skb := &pkt.SKB{Data: overlayFrame(1000, []byte("req")), GROSegs: 1}
+	res := n.handle(0, skb)
+	if res.Verdict != netdev.VerdictForward || res.Next != br {
+		t.Fatalf("result = %+v", res)
+	}
+	if !skb.HighPriority {
+		t.Error("high-priority flow not classified")
+	}
+	if skb.Flow.DstPort != 11211 || skb.Flow.DstIP != ctrAIP {
+		t.Errorf("inner flow = %v", skb.Flow)
+	}
+	// Outer headers must be stripped: the data now starts with the inner
+	// Ethernet header (dst = container MAC).
+	eth, err := pkt.ParseEthernet(skb.Data)
+	if err != nil || eth.Dst != ctrAMAC {
+		t.Errorf("inner frame not exposed: %v %v", eth, err)
+	}
+}
+
+func TestHandleLowPriorityByDefault(t *testing.T) {
+	_, _, n, _, _ := newNIC(t, Config{})
+	skb := &pkt.SKB{Data: overlayFrame(1000, nil), GROSegs: 1}
+	if res := n.handle(0, skb); res.Verdict != netdev.VerdictForward {
+		t.Fatalf("verdict = %v", res.Verdict)
+	}
+	if skb.HighPriority {
+		t.Error("unclassified flow marked high priority")
+	}
+}
+
+func TestHandleHostPathDelivers(t *testing.T) {
+	eng := sim.NewEngine(1)
+	fs := &fakeSched{}
+	db := prio.NewDB()
+	costs := netdev.DefaultCosts()
+	tbl := socket.NewTable("host")
+	n := New(eng, fs, costs, db, tbl, Config{Name: "eth0", HostIP: hostIP})
+
+	frame := pkt.BuildUDPFrame(pkt.UDPFrameSpec{
+		SrcMAC: peerMAC, DstMAC: hostMAC, SrcIP: peerIP, DstIP: hostIP,
+		SrcPort: 100, DstPort: 200, Payload: []byte("host"),
+	})
+	skb := &pkt.SKB{Data: frame, GROSegs: 1}
+	res := n.handle(0, skb)
+	// No listener on port 200: the host path drops at socket demux, but the
+	// verdict proves it took the single-stage route (no bridge attached).
+	if res.Verdict != netdev.VerdictDrop {
+		t.Fatalf("verdict = %v", res.Verdict)
+	}
+	if res.Cost != costs.HostPacket {
+		t.Errorf("cost = %v, want HostPacket", res.Cost)
+	}
+}
+
+func TestHandleGarbageDrops(t *testing.T) {
+	_, _, n, _, _ := newNIC(t, Config{})
+	res := n.handle(0, &pkt.SKB{Data: []byte{1, 2, 3}, GROSegs: 1})
+	if res.Verdict != netdev.VerdictDrop {
+		t.Errorf("verdict = %v", res.Verdict)
+	}
+	// Corrupt VXLAN: valid outer UDP/4789 but truncated inner.
+	f := overlayFrame(1, nil)
+	res = n.handle(0, &pkt.SKB{Data: f[:len(f)-20], GROSegs: 1})
+	if res.Verdict != netdev.VerdictDrop {
+		t.Errorf("truncated vxlan verdict = %v", res.Verdict)
+	}
+}
+
+func tcpOverlayFrame(seq uint32) []byte {
+	inner := pkt.BuildTCPFrame(pkt.TCPFrameSpec{
+		SrcMAC: ctrBMAC, DstMAC: ctrAMAC, SrcIP: ctrBIP, DstIP: ctrAIP,
+		SrcPort: 5001, DstPort: 5201, Seq: seq, Flags: pkt.TCPAck,
+		Payload: make([]byte, 1000),
+	})
+	return pkt.Encapsulate(pkt.VXLANSpec{
+		OuterSrcMAC: peerMAC, OuterDstMAC: hostMAC,
+		OuterSrcIP: peerIP, OuterDstIP: hostIP,
+		SrcPort: 54000, VNI: 256,
+	}, inner)
+}
+
+func TestGROMergesConsecutiveTCP(t *testing.T) {
+	_, _, n, _, _ := newNIC(t, Config{GRO: true})
+	head := &pkt.SKB{Data: tcpOverlayFrame(0), GROSegs: 1}
+	res := n.handle(0, head)
+	if res.Verdict != netdev.VerdictForward {
+		t.Fatalf("head verdict = %v", res.Verdict)
+	}
+	for i := 1; i < 5; i++ {
+		s := &pkt.SKB{Data: tcpOverlayFrame(uint32(i * 1000)), GROSegs: 1}
+		res := n.handle(sim.Time(i), s) // within the batch-overhead gap
+		if res.Verdict != netdev.VerdictAbsorbed {
+			t.Fatalf("segment %d verdict = %v, want absorbed", i, res.Verdict)
+		}
+	}
+	if head.GROSegs != 5 {
+		t.Errorf("head GROSegs = %d, want 5", head.GROSegs)
+	}
+	if n.Merged != 4 {
+		t.Errorf("Merged = %d, want 4", n.Merged)
+	}
+}
+
+func TestGRORunEndsOnFlowChange(t *testing.T) {
+	_, _, n, _, _ := newNIC(t, Config{GRO: true})
+	n.handle(0, &pkt.SKB{Data: tcpOverlayFrame(0), GROSegs: 1})
+	// Different flow (UDP) breaks the run.
+	if res := n.handle(1, &pkt.SKB{Data: overlayFrame(1000, nil), GROSegs: 1}); res.Verdict != netdev.VerdictForward {
+		t.Fatalf("udp verdict = %v", res.Verdict)
+	}
+	// Next TCP segment starts a new head, not absorbed.
+	if res := n.handle(2, &pkt.SKB{Data: tcpOverlayFrame(1000), GROSegs: 1}); res.Verdict != netdev.VerdictForward {
+		t.Errorf("new head verdict = %v, want forward", res.Verdict)
+	}
+}
+
+func TestGRORunEndsOnTimeGap(t *testing.T) {
+	_, _, n, _, _ := newNIC(t, Config{GRO: true})
+	n.handle(0, &pkt.SKB{Data: tcpOverlayFrame(0), GROSegs: 1})
+	// Next segment arrives a full batch-overhead later: new batch, flush.
+	res := n.handle(20*sim.Microsecond, &pkt.SKB{Data: tcpOverlayFrame(1000), GROSegs: 1})
+	if res.Verdict != netdev.VerdictForward {
+		t.Errorf("post-gap verdict = %v, want forward (GRO flushed)", res.Verdict)
+	}
+}
+
+func TestGROCapsRun(t *testing.T) {
+	_, _, n, _, _ := newNIC(t, Config{GRO: true})
+	forwards := 0
+	for i := 0; i < GROMaxSegs*2; i++ {
+		res := n.handle(sim.Time(i), &pkt.SKB{Data: tcpOverlayFrame(uint32(i)), GROSegs: 1})
+		if res.Verdict == netdev.VerdictForward {
+			forwards++
+		}
+	}
+	if forwards != 2 {
+		t.Errorf("forwards = %d, want 2 (run capped at %d)", forwards, GROMaxSegs)
+	}
+}
+
+func TestAdaptiveModerationFiresImmediatelyWhenQuiet(t *testing.T) {
+	eng, fs, n, _, _ := newNIC(t, Config{
+		RxUsecs: 8 * sim.Microsecond, RxFrames: 32,
+		AdaptiveIdle: 100 * sim.Microsecond,
+	})
+	eng.At(0, func() { n.DMA(0, overlayFrame(1000, nil)) })
+	if err := eng.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	if len(fs.calls) != 1 || eng.Now() != 0 {
+		t.Fatalf("quiet NIC did not interrupt immediately: calls=%d at %v", len(fs.calls), eng.Now())
+	}
+	// A second packet shortly after must coalesce (NIC no longer quiet).
+	n.Dev.InPollList = false
+	eng.At(10*sim.Microsecond, func() { n.DMA(eng.Now(), overlayFrame(1001, nil)) })
+	if err := eng.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	if len(fs.calls) != 2 {
+		t.Fatalf("second IRQ missing: %d", len(fs.calls))
+	}
+	if eng.Now() != 18*sim.Microsecond {
+		t.Errorf("second IRQ at %v, want 18µs (coalesced)", eng.Now())
+	}
+}
+
+func TestPriorityRingsClassifyInHardware(t *testing.T) {
+	eng, fs, n, db, _ := newNIC(t, Config{
+		PriorityRings: true,
+		RxUsecs:       8 * sim.Microsecond, RxFrames: 32,
+	})
+	db.Add(prio.Rule{IP: ctrAIP, Port: 11211})
+	eng.At(0, func() {
+		// Low-priority frame: goes to the FIFO ring, moderated IRQ.
+		lo := overlayFrame(1000, nil)
+		b := make([]byte, len(lo))
+		copy(b, lo)
+		// Rewrite inner dst port so it does not classify: build a fresh
+		// frame toward a non-priority port instead.
+		inner := pkt.BuildUDPFrame(pkt.UDPFrameSpec{
+			SrcMAC: ctrBMAC, DstMAC: ctrAMAC, SrcIP: ctrBIP, DstIP: ctrAIP,
+			SrcPort: 1000, DstPort: 5001, Payload: nil,
+		})
+		loFrame := pkt.Encapsulate(pkt.VXLANSpec{
+			OuterSrcMAC: peerMAC, OuterDstMAC: hostMAC,
+			OuterSrcIP: peerIP, OuterDstIP: hostIP, SrcPort: 54000, VNI: 256,
+		}, inner)
+		n.DMA(0, loFrame)
+		if n.Dev.LowQ.Len() != 1 || n.Dev.HighQ.Len() != 0 {
+			t.Errorf("low frame placement: low=%d high=%d", n.Dev.LowQ.Len(), n.Dev.HighQ.Len())
+		}
+		if len(fs.calls) != 0 {
+			t.Errorf("low frame interrupted immediately under moderation")
+		}
+		// High-priority frame: hardware steers it to the high ring and
+		// interrupts immediately.
+		n.Dev.InPollList = false
+		n.DMA(0, overlayFrame(1000, nil))
+		if n.Dev.HighQ.Len() != 1 {
+			t.Errorf("high frame not in high ring")
+		}
+		if len(fs.calls) != 1 {
+			t.Errorf("high frame did not interrupt immediately")
+		}
+		if s := n.Dev.HighQ.Peek(); s == nil || !s.HighPriority || s.Priority != 1 {
+			t.Errorf("high frame not classified: %+v", s)
+		}
+	})
+	if err := eng.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPriorityRingsGarbageGoesLow(t *testing.T) {
+	eng, _, n, db, _ := newNIC(t, Config{PriorityRings: true})
+	db.Add(prio.Rule{Port: 11211})
+	eng.At(0, func() {
+		n.DMA(0, []byte{1, 2, 3, 4})
+		if n.Dev.LowQ.Len() != 1 {
+			t.Error("unparseable frame not queued to the FIFO ring")
+		}
+	})
+	if err := eng.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+}

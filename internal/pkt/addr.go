@@ -1,0 +1,76 @@
+// Package pkt implements the packet substrate: real byte-level wire formats
+// (Ethernet II, IPv4, UDP, TCP, RFC 7348 VXLAN) and the SKB metadata
+// structure that travels with a frame through the simulated kernel.
+//
+// The simulator charges *virtual* CPU time for protocol processing, but the
+// frames themselves are genuine: encapsulation, decapsulation, FDB lookups
+// and socket demux all operate on parsed header fields, so a malformed
+// frame fails the same way it would in a real stack.
+package pkt
+
+import "fmt"
+
+// MAC is a 48-bit Ethernet address.
+type MAC [6]byte
+
+// String renders the address in canonical colon notation.
+func (m MAC) String() string {
+	return fmt.Sprintf("%02x:%02x:%02x:%02x:%02x:%02x", m[0], m[1], m[2], m[3], m[4], m[5])
+}
+
+// IsBroadcast reports whether m is ff:ff:ff:ff:ff:ff.
+func (m MAC) IsBroadcast() bool {
+	return m == MAC{0xff, 0xff, 0xff, 0xff, 0xff, 0xff}
+}
+
+// BroadcastMAC is the Ethernet broadcast address.
+var BroadcastMAC = MAC{0xff, 0xff, 0xff, 0xff, 0xff, 0xff}
+
+// IPv4 is a 32-bit IPv4 address.
+type IPv4 [4]byte
+
+// String renders the address in dotted-quad notation.
+func (ip IPv4) String() string {
+	return fmt.Sprintf("%d.%d.%d.%d", ip[0], ip[1], ip[2], ip[3])
+}
+
+// Addr builds an IPv4 address from four octets; a readability helper for
+// topology construction code.
+func Addr(a, b, c, d byte) IPv4 { return IPv4{a, b, c, d} }
+
+// FlowKey identifies a transport flow: the tuple the PRISM priority
+// database matches against (§IV-A of the paper uses IP and port pairs).
+type FlowKey struct {
+	SrcIP   IPv4
+	DstIP   IPv4
+	Proto   uint8
+	SrcPort uint16
+	DstPort uint16
+}
+
+// String renders the flow as "proto src:port->dst:port".
+func (k FlowKey) String() string {
+	return fmt.Sprintf("%s %s:%d->%s:%d", protoName(k.Proto), k.SrcIP, k.SrcPort, k.DstIP, k.DstPort)
+}
+
+func protoName(p uint8) string {
+	switch p {
+	case ProtoUDP:
+		return "udp"
+	case ProtoTCP:
+		return "tcp"
+	default:
+		return fmt.Sprintf("proto%d", p)
+	}
+}
+
+// Reverse returns the key of the opposite direction of the same flow.
+func (k FlowKey) Reverse() FlowKey {
+	return FlowKey{
+		SrcIP:   k.DstIP,
+		DstIP:   k.SrcIP,
+		Proto:   k.Proto,
+		SrcPort: k.DstPort,
+		DstPort: k.SrcPort,
+	}
+}

@@ -1,0 +1,48 @@
+package pkt
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Ethernet and IP constants used across the stack.
+const (
+	EthHeaderLen = 14
+	MTU          = 1500 // maximum L3 payload per Ethernet frame
+
+	EtherTypeIPv4 = 0x0800
+	EtherTypeARP  = 0x0806
+
+	ProtoICMP = 1
+	ProtoTCP  = 6
+	ProtoUDP  = 17
+)
+
+// EthernetHeader is an Ethernet II header.
+type EthernetHeader struct {
+	Dst       MAC
+	Src       MAC
+	EtherType uint16
+}
+
+// PutEthernet encodes h at the start of b, which must have room for
+// EthHeaderLen bytes, and returns the number of bytes written.
+func PutEthernet(b []byte, h EthernetHeader) int {
+	_ = b[EthHeaderLen-1]
+	copy(b[0:6], h.Dst[:])
+	copy(b[6:12], h.Src[:])
+	binary.BigEndian.PutUint16(b[12:14], h.EtherType)
+	return EthHeaderLen
+}
+
+// ParseEthernet decodes an Ethernet II header from the start of b.
+func ParseEthernet(b []byte) (EthernetHeader, error) {
+	if len(b) < EthHeaderLen {
+		return EthernetHeader{}, fmt.Errorf("pkt: ethernet frame too short: %d bytes", len(b))
+	}
+	var h EthernetHeader
+	copy(h.Dst[:], b[0:6])
+	copy(h.Src[:], b[6:12])
+	h.EtherType = binary.BigEndian.Uint16(b[12:14])
+	return h, nil
+}

@@ -1,0 +1,94 @@
+package pkt
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// IPv4HeaderLen is the length of an IPv4 header without options; the
+// simulated stack never emits options.
+const IPv4HeaderLen = 20
+
+// IPv4Header is an IPv4 header without options.
+type IPv4Header struct {
+	TOS      uint8
+	TotalLen uint16 // header + payload
+	ID       uint16
+	Flags    uint8 // 3 bits: reserved, DF, MF
+	FragOff  uint16
+	TTL      uint8
+	Protocol uint8
+	Checksum uint16 // as parsed; recomputed on encode
+	Src      IPv4
+	Dst      IPv4
+}
+
+// PutIPv4 encodes h at the start of b (which must have room for
+// IPv4HeaderLen bytes), computing the header checksum, and returns the
+// number of bytes written.
+func PutIPv4(b []byte, h IPv4Header) int {
+	_ = b[IPv4HeaderLen-1]
+	b[0] = 0x45 // version 4, IHL 5
+	b[1] = h.TOS
+	binary.BigEndian.PutUint16(b[2:4], h.TotalLen)
+	binary.BigEndian.PutUint16(b[4:6], h.ID)
+	binary.BigEndian.PutUint16(b[6:8], uint16(h.Flags)<<13|h.FragOff&0x1fff)
+	b[8] = h.TTL
+	b[9] = h.Protocol
+	b[10], b[11] = 0, 0
+	copy(b[12:16], h.Src[:])
+	copy(b[16:20], h.Dst[:])
+	cs := ipChecksum(b[:IPv4HeaderLen])
+	binary.BigEndian.PutUint16(b[10:12], cs)
+	return IPv4HeaderLen
+}
+
+// ParseIPv4 decodes and validates an IPv4 header from the start of b. It
+// verifies version, IHL, total length and the header checksum — the same
+// validations ip_rcv performs.
+func ParseIPv4(b []byte) (IPv4Header, error) {
+	if len(b) < IPv4HeaderLen {
+		return IPv4Header{}, fmt.Errorf("pkt: ipv4 packet too short: %d bytes", len(b))
+	}
+	if v := b[0] >> 4; v != 4 {
+		return IPv4Header{}, fmt.Errorf("pkt: ipv4 bad version %d", v)
+	}
+	if ihl := int(b[0]&0x0f) * 4; ihl != IPv4HeaderLen {
+		return IPv4Header{}, fmt.Errorf("pkt: ipv4 unsupported header length %d", ihl)
+	}
+	if ipChecksum(b[:IPv4HeaderLen]) != 0 {
+		return IPv4Header{}, fmt.Errorf("pkt: ipv4 header checksum mismatch")
+	}
+	var h IPv4Header
+	h.TOS = b[1]
+	h.TotalLen = binary.BigEndian.Uint16(b[2:4])
+	if int(h.TotalLen) > len(b) || h.TotalLen < IPv4HeaderLen {
+		return IPv4Header{}, fmt.Errorf("pkt: ipv4 bad total length %d (frame %d)", h.TotalLen, len(b))
+	}
+	h.ID = binary.BigEndian.Uint16(b[4:6])
+	ff := binary.BigEndian.Uint16(b[6:8])
+	h.Flags = uint8(ff >> 13)
+	h.FragOff = ff & 0x1fff
+	h.TTL = b[8]
+	h.Protocol = b[9]
+	h.Checksum = binary.BigEndian.Uint16(b[10:12])
+	copy(h.Src[:], b[12:16])
+	copy(h.Dst[:], b[16:20])
+	return h, nil
+}
+
+// ipChecksum computes the RFC 1071 internet checksum over b. Over a header
+// whose checksum field holds the correct value, the result is zero.
+func ipChecksum(b []byte) uint16 {
+	var sum uint32
+	for i := 0; i+1 < len(b); i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(b[i : i+2]))
+	}
+	if len(b)%2 == 1 {
+		sum += uint32(b[len(b)-1]) << 8
+	}
+	for sum > 0xffff {
+		sum = sum&0xffff + sum>>16
+	}
+	return ^uint16(sum)
+}

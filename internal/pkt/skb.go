@@ -1,0 +1,255 @@
+package pkt
+
+import (
+	"fmt"
+
+	"prism/internal/sim"
+)
+
+// SKB mirrors the kernel's sk_buff: the frame bytes plus the metadata that
+// travels with the packet through every processing stage. The same SKB
+// instance is passed from device to device, exactly as in the kernel, so
+// per-packet state (notably the PRISM priority bit, §IV-A) is computed once
+// and reused.
+type SKB struct {
+	// Data holds the frame as currently visible to the stack. Decapsulation
+	// re-slices it; the outer headers are "stripped" without copying.
+	Data []byte
+
+	// HighPriority is the binary priority variable PRISM adds to sk_buff.
+	// It is assigned exactly once, when the SKB is allocated during the
+	// physical device's poll (the paper's mlx5e_napi_poll analogue).
+	HighPriority bool
+
+	// Priority is the multi-level generalization (§VII-3): 0 is best
+	// effort; levels 1..netdev.MaxPriorityLevels are increasingly urgent.
+	// HighPriority == (Priority > 0).
+	Priority int
+
+	// Flow is the flow key of the *innermost* parsed headers so far; updated
+	// after decapsulation. Zero until first parse.
+	Flow FlowKey
+
+	// Encapsulated marks a frame recognised as VXLAN during stage-1
+	// processing (set before decapsulation, cleared after).
+	Encapsulated bool
+
+	// Arrived is when the NIC DMA'd the frame into the ring.
+	Arrived sim.Time
+
+	// Delivered is when the payload reached the application socket buffer;
+	// zero while in flight.
+	Delivered sim.Time
+
+	// ID is a unique per-simulation packet identifier for conservation and
+	// trace checks.
+	ID uint64
+
+	// Stage counts processing stages completed so far (for traces/tests).
+	Stage int
+
+	// GROSegs is the number of wire frames coalesced into this SKB by GRO
+	// (1 for an unmerged packet). Downstream stages process a merged SKB
+	// once — the whole point of GRO.
+	GROSegs int
+}
+
+// Len returns the current frame length in bytes.
+func (s *SKB) Len() int { return len(s.Data) }
+
+// String summarises the SKB for traces.
+func (s *SKB) String() string {
+	prio := "lo"
+	if s.HighPriority {
+		prio = "HI"
+	}
+	return fmt.Sprintf("skb#%d[%s %s len=%d stage=%d]", s.ID, prio, s.Flow, s.Len(), s.Stage)
+}
+
+// UDPFrameSpec describes a plain (non-encapsulated) Ethernet+IPv4+UDP frame.
+type UDPFrameSpec struct {
+	SrcMAC, DstMAC   MAC
+	SrcIP, DstIP     IPv4
+	SrcPort, DstPort uint16
+	TOS              uint8
+	ID               uint16
+	Payload          []byte
+}
+
+// BuildUDPFrame encodes the spec into a complete Ethernet frame.
+func BuildUDPFrame(sp UDPFrameSpec) []byte {
+	total := EthHeaderLen + IPv4HeaderLen + UDPHeaderLen + len(sp.Payload)
+	b := make([]byte, total)
+	off := PutEthernet(b, EthernetHeader{Dst: sp.DstMAC, Src: sp.SrcMAC, EtherType: EtherTypeIPv4})
+	off += PutIPv4(b[off:], IPv4Header{
+		TOS:      sp.TOS,
+		TotalLen: uint16(IPv4HeaderLen + UDPHeaderLen + len(sp.Payload)),
+		ID:       sp.ID,
+		TTL:      64,
+		Protocol: ProtoUDP,
+		Src:      sp.SrcIP,
+		Dst:      sp.DstIP,
+	})
+	off += PutUDP(b[off:], UDPHeader{
+		SrcPort: sp.SrcPort,
+		DstPort: sp.DstPort,
+		Length:  uint16(UDPHeaderLen + len(sp.Payload)),
+	})
+	copy(b[off:], sp.Payload)
+	return b
+}
+
+// TCPFrameSpec describes a plain Ethernet+IPv4+TCP frame.
+type TCPFrameSpec struct {
+	SrcMAC, DstMAC   MAC
+	SrcIP, DstIP     IPv4
+	SrcPort, DstPort uint16
+	Seq, Ack         uint32
+	Flags            uint8
+	ID               uint16
+	Payload          []byte
+}
+
+// BuildTCPFrame encodes the spec into a complete Ethernet frame.
+func BuildTCPFrame(sp TCPFrameSpec) []byte {
+	total := EthHeaderLen + IPv4HeaderLen + TCPHeaderLen + len(sp.Payload)
+	b := make([]byte, total)
+	off := PutEthernet(b, EthernetHeader{Dst: sp.DstMAC, Src: sp.SrcMAC, EtherType: EtherTypeIPv4})
+	off += PutIPv4(b[off:], IPv4Header{
+		TotalLen: uint16(IPv4HeaderLen + TCPHeaderLen + len(sp.Payload)),
+		ID:       sp.ID,
+		TTL:      64,
+		Protocol: ProtoTCP,
+		Src:      sp.SrcIP,
+		Dst:      sp.DstIP,
+	})
+	off += PutTCP(b[off:], TCPHeader{
+		SrcPort: sp.SrcPort,
+		DstPort: sp.DstPort,
+		Seq:     sp.Seq,
+		Ack:     sp.Ack,
+		Flags:   sp.Flags,
+		Window:  65535,
+	})
+	copy(b[off:], sp.Payload)
+	return b
+}
+
+// VXLANSpec describes the outer encapsulation of an overlay frame.
+type VXLANSpec struct {
+	OuterSrcMAC, OuterDstMAC MAC
+	OuterSrcIP, OuterDstIP   IPv4
+	SrcPort                  uint16 // outer UDP source port (flow entropy)
+	VNI                      uint32
+	ID                       uint16
+}
+
+// Encapsulate wraps inner (a complete Ethernet frame) in outer
+// Ethernet+IPv4+UDP+VXLAN headers, as the VXLAN egress path does.
+func Encapsulate(sp VXLANSpec, inner []byte) []byte {
+	outerLen := EthHeaderLen + IPv4HeaderLen + UDPHeaderLen + VXLANHeaderLen
+	b := make([]byte, outerLen+len(inner))
+	off := PutEthernet(b, EthernetHeader{Dst: sp.OuterDstMAC, Src: sp.OuterSrcMAC, EtherType: EtherTypeIPv4})
+	off += PutIPv4(b[off:], IPv4Header{
+		TotalLen: uint16(IPv4HeaderLen + UDPHeaderLen + VXLANHeaderLen + len(inner)),
+		ID:       sp.ID,
+		TTL:      64,
+		Protocol: ProtoUDP,
+		Src:      sp.OuterSrcIP,
+		Dst:      sp.OuterDstIP,
+	})
+	off += PutUDP(b[off:], UDPHeader{
+		SrcPort: sp.SrcPort,
+		DstPort: VXLANPort,
+		Length:  uint16(UDPHeaderLen + VXLANHeaderLen + len(inner)),
+	})
+	off += PutVXLAN(b[off:], VXLANHeader{VNI: sp.VNI})
+	copy(b[off:], inner)
+	return b
+}
+
+// Decapsulate validates the outer Ethernet+IPv4+UDP+VXLAN headers of frame
+// and returns the VNI and the inner Ethernet frame (a sub-slice, no copy).
+func Decapsulate(frame []byte) (vni uint32, inner []byte, err error) {
+	eth, err := ParseEthernet(frame)
+	if err != nil {
+		return 0, nil, err
+	}
+	if eth.EtherType != EtherTypeIPv4 {
+		return 0, nil, fmt.Errorf("pkt: outer ethertype 0x%04x is not IPv4", eth.EtherType)
+	}
+	ip, err := ParseIPv4(frame[EthHeaderLen:])
+	if err != nil {
+		return 0, nil, err
+	}
+	if ip.Protocol != ProtoUDP {
+		return 0, nil, fmt.Errorf("pkt: outer protocol %d is not UDP", ip.Protocol)
+	}
+	udpOff := EthHeaderLen + IPv4HeaderLen
+	udp, err := ParseUDP(frame[udpOff:])
+	if err != nil {
+		return 0, nil, err
+	}
+	if udp.DstPort != VXLANPort {
+		return 0, nil, fmt.Errorf("pkt: outer UDP port %d is not VXLAN", udp.DstPort)
+	}
+	vxOff := udpOff + UDPHeaderLen
+	vx, err := ParseVXLAN(frame[vxOff:])
+	if err != nil {
+		return 0, nil, err
+	}
+	return vx.VNI, frame[vxOff+VXLANHeaderLen:], nil
+}
+
+// IsVXLAN reports whether frame looks like a VXLAN-encapsulated packet,
+// without fully validating it. This is the cheap early check the NIC-stage
+// poll uses to route the frame to the tunnel endpoint.
+func IsVXLAN(frame []byte) bool {
+	if len(frame) < EthHeaderLen+IPv4HeaderLen+UDPHeaderLen+VXLANHeaderLen {
+		return false
+	}
+	eth, err := ParseEthernet(frame)
+	if err != nil || eth.EtherType != EtherTypeIPv4 {
+		return false
+	}
+	if frame[EthHeaderLen+9] != ProtoUDP {
+		return false
+	}
+	dport := uint16(frame[EthHeaderLen+IPv4HeaderLen+2])<<8 | uint16(frame[EthHeaderLen+IPv4HeaderLen+3])
+	return dport == VXLANPort
+}
+
+// ParseFlow extracts the transport flow key from an Ethernet frame. For
+// non-IPv4 or non-UDP/TCP frames it returns an error.
+func ParseFlow(frame []byte) (FlowKey, error) {
+	eth, err := ParseEthernet(frame)
+	if err != nil {
+		return FlowKey{}, err
+	}
+	if eth.EtherType != EtherTypeIPv4 {
+		return FlowKey{}, fmt.Errorf("pkt: ethertype 0x%04x has no flow key", eth.EtherType)
+	}
+	ip, err := ParseIPv4(frame[EthHeaderLen:])
+	if err != nil {
+		return FlowKey{}, err
+	}
+	k := FlowKey{SrcIP: ip.Src, DstIP: ip.Dst, Proto: ip.Protocol}
+	tOff := EthHeaderLen + IPv4HeaderLen
+	switch ip.Protocol {
+	case ProtoUDP:
+		u, err := ParseUDP(frame[tOff:])
+		if err != nil {
+			return FlowKey{}, err
+		}
+		k.SrcPort, k.DstPort = u.SrcPort, u.DstPort
+	case ProtoTCP:
+		t, err := ParseTCP(frame[tOff:])
+		if err != nil {
+			return FlowKey{}, err
+		}
+		k.SrcPort, k.DstPort = t.SrcPort, t.DstPort
+	default:
+		return FlowKey{}, fmt.Errorf("pkt: protocol %d has no flow key", ip.Protocol)
+	}
+	return k, nil
+}

@@ -1,0 +1,39 @@
+package pkt
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// VXLAN constants per RFC 7348.
+const (
+	VXLANHeaderLen = 8
+	VXLANPort      = 4789 // IANA-assigned UDP destination port
+	vxlanFlagVNI   = 0x08 // "I" flag: VNI field is valid
+)
+
+// VXLANHeader is the 8-byte VXLAN header.
+type VXLANHeader struct {
+	VNI uint32 // 24-bit VXLAN network identifier
+}
+
+// PutVXLAN encodes h at the start of b and returns the bytes written.
+func PutVXLAN(b []byte, h VXLANHeader) int {
+	_ = b[VXLANHeaderLen-1]
+	b[0] = vxlanFlagVNI
+	b[1], b[2], b[3] = 0, 0, 0
+	binary.BigEndian.PutUint32(b[4:8], h.VNI<<8)
+	return VXLANHeaderLen
+}
+
+// ParseVXLAN decodes a VXLAN header from the start of b, validating the
+// I flag as RFC 7348 requires.
+func ParseVXLAN(b []byte) (VXLANHeader, error) {
+	if len(b) < VXLANHeaderLen {
+		return VXLANHeader{}, fmt.Errorf("pkt: vxlan header too short: %d bytes", len(b))
+	}
+	if b[0]&vxlanFlagVNI == 0 {
+		return VXLANHeader{}, fmt.Errorf("pkt: vxlan I flag not set")
+	}
+	return VXLANHeader{VNI: binary.BigEndian.Uint32(b[4:8]) >> 8}, nil
+}

@@ -1,0 +1,190 @@
+package prio
+
+import (
+	"sync"
+	"testing"
+
+	"prism/internal/pkt"
+)
+
+func TestModeString(t *testing.T) {
+	tests := []struct {
+		m    Mode
+		want string
+	}{
+		{ModeVanilla, "vanilla"},
+		{ModeBatch, "prism-batch"},
+		{ModeSync, "prism-sync"},
+		{Mode(0), "mode(0)"},
+	}
+	for _, tt := range tests {
+		if got := tt.m.String(); got != tt.want {
+			t.Errorf("String = %q, want %q", got, tt.want)
+		}
+	}
+}
+
+func TestDBModeSwitch(t *testing.T) {
+	db := NewDB()
+	if db.Mode() != ModeVanilla {
+		t.Errorf("initial mode = %v", db.Mode())
+	}
+	db.SetMode(ModeSync)
+	if db.Mode() != ModeSync {
+		t.Errorf("mode after set = %v", db.Mode())
+	}
+}
+
+func TestClassify(t *testing.T) {
+	db := NewDB()
+	flow := pkt.FlowKey{
+		SrcIP: pkt.Addr(10, 0, 0, 1), DstIP: pkt.Addr(10, 0, 0, 2),
+		Proto: pkt.ProtoUDP, SrcPort: 40000, DstPort: 11211,
+	}
+	if db.Classify(flow) {
+		t.Error("empty DB classified high")
+	}
+
+	tests := []struct {
+		name string
+		rule Rule
+		want bool
+	}{
+		{"exact dst", Rule{IP: pkt.Addr(10, 0, 0, 2), Port: 11211}, true},
+		{"exact src", Rule{IP: pkt.Addr(10, 0, 0, 1), Port: 40000}, true},
+		{"port wildcard ip", Rule{Port: 11211}, true},
+		{"ip wildcard port", Rule{IP: pkt.Addr(10, 0, 0, 2)}, true},
+		{"wrong port", Rule{IP: pkt.Addr(10, 0, 0, 2), Port: 80}, false},
+		{"wrong ip", Rule{IP: pkt.Addr(9, 9, 9, 9), Port: 11211}, false},
+		{"crossed ip/port", Rule{IP: pkt.Addr(10, 0, 0, 1), Port: 11211}, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			db.Clear()
+			db.Add(tt.rule)
+			if got := db.Classify(flow); got != tt.want {
+				t.Errorf("Classify = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestDBAddRemove(t *testing.T) {
+	db := NewDB()
+	r := Rule{Port: 80}
+	db.Add(r)
+	db.Add(r) // duplicate
+	if db.Len() != 1 {
+		t.Errorf("Len = %d", db.Len())
+	}
+	if !db.Remove(r) {
+		t.Error("Remove existing = false")
+	}
+	if db.Remove(r) {
+		t.Error("Remove missing = true")
+	}
+	if db.Len() != 0 {
+		t.Errorf("Len after remove = %d", db.Len())
+	}
+}
+
+func TestDBRulesSorted(t *testing.T) {
+	db := NewDB()
+	db.Add(Rule{Port: 9})
+	db.Add(Rule{IP: pkt.Addr(1, 2, 3, 4), Port: 5})
+	db.Add(Rule{IP: pkt.Addr(1, 2, 3, 4)})
+	rules := db.Rules()
+	if len(rules) != 3 {
+		t.Fatalf("Rules len = %d", len(rules))
+	}
+	for i := 1; i < len(rules); i++ {
+		if rules[i-1].String() > rules[i].String() {
+			t.Error("rules not sorted")
+		}
+	}
+}
+
+func TestRuleString(t *testing.T) {
+	tests := []struct {
+		r    Rule
+		want string
+	}{
+		{Rule{}, "*:*"},
+		{Rule{Port: 80}, "*:80"},
+		{Rule{IP: pkt.Addr(10, 0, 0, 2)}, "10.0.0.2:*"},
+		{Rule{IP: pkt.Addr(10, 0, 0, 2), Port: 443}, "10.0.0.2:443"},
+	}
+	for _, tt := range tests {
+		if got := tt.r.String(); got != tt.want {
+			t.Errorf("String = %q, want %q", got, tt.want)
+		}
+	}
+}
+
+func TestParseRule(t *testing.T) {
+	tests := []struct {
+		in      string
+		want    Rule
+		wantErr bool
+	}{
+		{"10.0.0.2:11211", Rule{IP: pkt.Addr(10, 0, 0, 2), Port: 11211}, false},
+		{"*:11211", Rule{Port: 11211}, false},
+		{"10.0.0.2:*", Rule{IP: pkt.Addr(10, 0, 0, 2)}, false},
+		{"*:*", Rule{}, false},
+		{"nonsense", Rule{}, true},
+		{"300.0.0.1:80", Rule{}, true},
+		{"1.2.3.4:99999", Rule{}, true},
+		{"1.2.3.4:0", Rule{}, true},
+		{"a.b.c.d:80", Rule{}, true},
+		{"1.2.3.4:x", Rule{}, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.in, func(t *testing.T) {
+			got, err := ParseRule(tt.in)
+			if (err != nil) != tt.wantErr {
+				t.Fatalf("err = %v, wantErr %v", err, tt.wantErr)
+			}
+			if err == nil && got != tt.want {
+				t.Errorf("ParseRule = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestParseRuleRoundTrip(t *testing.T) {
+	for _, s := range []string{"*:*", "*:80", "9.8.7.6:*", "1.2.3.4:65535"} {
+		r, err := ParseRule(s)
+		if err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+		if r.String() != s {
+			t.Errorf("round trip %q -> %q", s, r.String())
+		}
+	}
+}
+
+func TestDBConcurrentAccess(t *testing.T) {
+	db := NewDB()
+	flow := pkt.FlowKey{DstIP: pkt.Addr(1, 1, 1, 1), DstPort: 5, Proto: pkt.ProtoUDP}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				switch i % 4 {
+				case 0:
+					db.Add(Rule{Port: uint16(j%100 + 1)})
+				case 1:
+					db.Remove(Rule{Port: uint16(j%100 + 1)})
+				case 2:
+					db.Classify(flow)
+				case 3:
+					db.SetMode(ModeBatch)
+					_ = db.Mode()
+				}
+			}
+		}(i)
+	}
+	wg.Wait() // run with -race to validate
+}

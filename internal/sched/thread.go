@@ -1,0 +1,54 @@
+// Package sched models application threads: serial execution contexts
+// bound to a core, with wakeup latency when scheduled in from idle. It is
+// deliberately minimal — the paper's experiments pin one application per
+// core — but it captures the two effects that matter to the results: a
+// blocked server thread pays a wakeup (scheduler + cross-core IPI) before
+// touching a freshly delivered packet, and requests serialize on a busy
+// single-threaded server (which is what collapses memcached throughput in
+// Fig. 12).
+package sched
+
+import (
+	"prism/internal/cpu"
+	"prism/internal/sim"
+)
+
+// Thread is a serial work queue bound to a core.
+type Thread struct {
+	Name string
+
+	eng    *sim.Engine
+	core   *cpu.Core
+	wakeup sim.Time
+
+	// Jobs counts submitted work items; WakeupCount counts schedule-ins
+	// from idle.
+	Jobs        uint64
+	WakeupCount uint64
+}
+
+// NewThread binds a thread to a core. wakeup is the schedule-in latency
+// paid when the thread was blocked (core idle at submission).
+func NewThread(name string, eng *sim.Engine, core *cpu.Core, wakeup sim.Time) *Thread {
+	return &Thread{Name: name, eng: eng, core: core, wakeup: wakeup}
+}
+
+// Core returns the thread's core.
+func (t *Thread) Core() *cpu.Core { return t.core }
+
+// Submit enqueues cost worth of work triggered at now. fn, if non-nil,
+// runs when the work completes, receiving the completion time. Work items
+// execute serially in submission order.
+func (t *Thread) Submit(now sim.Time, cost sim.Time, fn func(done sim.Time)) {
+	t.Jobs++
+	wasIdle := t.core.IdleAt(now)
+	start := t.core.Acquire(now)
+	if wasIdle {
+		t.WakeupCount++
+		start = t.core.Consume(start, t.wakeup)
+	}
+	done := t.core.Consume(start, cost)
+	if fn != nil {
+		t.eng.At(done, func() { fn(done) })
+	}
+}

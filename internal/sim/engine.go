@@ -1,0 +1,184 @@
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+)
+
+// Event is a unit of future work. Fn runs when the virtual clock reaches At.
+type Event struct {
+	At   Time
+	Fn   func()
+	seq  uint64 // tie-break: FIFO among equal timestamps
+	idx  int    // heap index, -1 once popped or cancelled
+	dead bool   // cancelled
+}
+
+// Cancelled reports whether the event was cancelled before it fired.
+func (e *Event) Cancelled() bool { return e.dead }
+
+// eventHeap orders events by (At, seq).
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].At != h[j].At {
+		return h[i].At < h[j].At
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*Event)
+	ev.idx = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.idx = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// ErrHalted is returned by Run when Halt was called before the horizon.
+var ErrHalted = errors.New("sim: halted")
+
+// Engine is a single-threaded discrete-event scheduler. It is intentionally
+// not safe for concurrent use: determinism requires a single logical thread
+// of control, and all model code runs inside event callbacks.
+type Engine struct {
+	now    Time
+	queue  eventHeap
+	seq    uint64
+	halted bool
+	rng    *RNG
+
+	// Executed counts events dispatched since construction. Useful in tests
+	// and for runaway detection.
+	Executed uint64
+}
+
+// NewEngine returns an engine with its clock at zero and the given RNG seed.
+func NewEngine(seed uint64) *Engine {
+	return &Engine{rng: NewRNG(seed)}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// RNG returns the engine's deterministic random source.
+func (e *Engine) RNG() *RNG { return e.rng }
+
+// Pending returns the number of scheduled, uncancelled events.
+func (e *Engine) Pending() int {
+	n := 0
+	for _, ev := range e.queue {
+		if !ev.dead {
+			n++
+		}
+	}
+	return n
+}
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the past
+// panics: it is always a model bug, and silently clamping it would hide
+// causality violations.
+func (e *Engine) At(t Time, fn func()) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling at %v before now %v", t, e.now))
+	}
+	ev := &Event{At: t, Fn: fn, seq: e.seq}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// After schedules fn to run d nanoseconds from now.
+func (e *Engine) After(d Time, fn func()) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return e.At(e.now+d, fn)
+}
+
+// Cancel marks ev so it will not fire. Cancelling an already-fired or
+// already-cancelled event is a no-op.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.dead {
+		return
+	}
+	ev.dead = true
+	ev.Fn = nil
+}
+
+// Halt stops Run before the horizon. Pending events are left in the queue.
+func (e *Engine) Halt() { e.halted = true }
+
+// Step dispatches the single earliest event, advancing the clock to it.
+// It reports false when the queue is empty.
+func (e *Engine) Step() bool {
+	for len(e.queue) > 0 {
+		ev := heap.Pop(&e.queue).(*Event)
+		if ev.dead {
+			continue
+		}
+		e.now = ev.At
+		fn := ev.Fn
+		ev.Fn = nil
+		ev.dead = true
+		e.Executed++
+		fn()
+		return true
+	}
+	return false
+}
+
+// Run dispatches events until the clock would pass horizon, the queue
+// drains, or Halt is called. The clock finishes at exactly horizon unless
+// halted earlier. Events scheduled precisely at the horizon do fire.
+func (e *Engine) Run(horizon Time) error {
+	e.halted = false
+	for !e.halted {
+		next, ok := e.peek()
+		if !ok || next.At > horizon {
+			break
+		}
+		e.Step()
+	}
+	if e.halted {
+		return ErrHalted
+	}
+	if e.now < horizon {
+		e.now = horizon
+	}
+	return nil
+}
+
+// RunUntilIdle dispatches events until the queue drains or Halt is called.
+func (e *Engine) RunUntilIdle() error {
+	e.halted = false
+	for !e.halted && e.Step() {
+	}
+	if e.halted {
+		return ErrHalted
+	}
+	return nil
+}
+
+func (e *Engine) peek() (*Event, bool) {
+	for len(e.queue) > 0 {
+		if ev := e.queue[0]; !ev.dead {
+			return ev, true
+		}
+		heap.Pop(&e.queue)
+	}
+	return nil, false
+}

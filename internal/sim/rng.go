@@ -1,0 +1,80 @@
+package sim
+
+import "math"
+
+// RNG is a small, fast, deterministic random source (xoshiro256**). The
+// standard library's math/rand would also work, but a self-contained
+// generator guarantees stream stability across Go releases, which keeps
+// recorded experiment outputs reproducible.
+type RNG struct {
+	s [4]uint64
+}
+
+// NewRNG returns a generator seeded from a single word via SplitMix64, as
+// recommended by the xoshiro authors. A zero seed is valid.
+func NewRNG(seed uint64) *RNG {
+	r := &RNG{}
+	sm := seed
+	next := func() uint64 {
+		sm += 0x9e3779b97f4a7c15
+		z := sm
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+	for i := range r.s {
+		r.s[i] = next()
+	}
+	return r
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 random bits.
+func (r *RNG) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// ExpDuration returns an exponentially distributed duration with the given
+// mean, used for Poisson arrival processes.
+func (r *RNG) ExpDuration(mean Time) Time {
+	u := r.Float64()
+	// Guard against log(0).
+	if u <= 0 {
+		u = math.SmallestNonzeroFloat64
+	}
+	d := -math.Log(u) * float64(mean)
+	if d > math.MaxInt64/2 {
+		d = math.MaxInt64 / 2
+	}
+	return Time(d)
+}
+
+// Jitter returns a uniform duration in [-spread, +spread].
+func (r *RNG) Jitter(spread Time) Time {
+	if spread <= 0 {
+		return 0
+	}
+	return Time(r.Uint64()%uint64(2*spread+1)) - spread
+}

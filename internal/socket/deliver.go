@@ -1,0 +1,41 @@
+package socket
+
+import (
+	"prism/internal/netdev"
+	"prism/internal/pkt"
+	"prism/internal/sim"
+)
+
+// DeliverToTable finishes protocol processing for a frame addressed to a
+// local socket table and produces the stage result. It is the tail of both
+// the host path (from the NIC stage) and the container path (from the veth
+// stage): transport demux, payload extraction, and the deferred copy into
+// the socket buffer at the packet's completion time.
+func DeliverToTable(tbl *Table, cost sim.Time, skb *pkt.SKB) netdev.Result {
+	if tbl == nil {
+		return netdev.Result{Verdict: netdev.VerdictDrop, Cost: cost}
+	}
+	sock := tbl.Lookup(skb.Flow.Proto, skb.Flow.DstPort)
+	if sock == nil {
+		// No listener: ICMP port-unreachable territory; count as a drop.
+		return netdev.Result{Verdict: netdev.VerdictDrop, Cost: cost}
+	}
+	payload, err := pkt.TransportPayload(skb.Data)
+	if err != nil {
+		return netdev.Result{Verdict: netdev.VerdictDrop, Cost: cost}
+	}
+	msg := Message{
+		Payload:      payload,
+		From:         skb.Flow,
+		Arrived:      skb.Arrived,
+		HighPriority: skb.HighPriority,
+	}
+	return netdev.Result{
+		Verdict: netdev.VerdictDeliver,
+		Cost:    cost,
+		Deliver: func(at sim.Time) {
+			msg.Delivered = at
+			sock.Deliver(at, msg)
+		},
+	}
+}

@@ -1,0 +1,124 @@
+// Package socket models the kernel/user boundary: per-network-namespace
+// socket tables, bounded receive buffers, and the handoff from softirq
+// delivery to an application thread.
+package socket
+
+import (
+	"fmt"
+
+	"prism/internal/pkt"
+	"prism/internal/sched"
+	"prism/internal/sim"
+)
+
+// Message is one datagram (or request chunk) as seen by the application.
+type Message struct {
+	Payload []byte
+	From    pkt.FlowKey // the flow key of the packet that carried it
+	// Arrived is when the frame hit the NIC ring; Delivered is when the
+	// softirq copied it into the socket buffer.
+	Arrived   sim.Time
+	Delivered sim.Time
+	// HighPriority echoes the SKB's PRISM classification, for assertions.
+	HighPriority bool
+}
+
+// App consumes messages from a socket. ProcessingCost is charged on the
+// application thread per message before OnMessage runs.
+type App interface {
+	// ProcessingCost returns the CPU the app spends on this message.
+	ProcessingCost(m Message) sim.Time
+	// OnMessage runs at processing completion on the app thread.
+	OnMessage(done sim.Time, m Message)
+}
+
+// Socket is a bound endpoint with a bounded receive buffer drained by an
+// application thread.
+type Socket struct {
+	Proto uint16 // pkt.ProtoUDP or pkt.ProtoTCP (uint16 to match bind keys)
+	Port  uint16
+
+	Thread *sched.Thread
+	app    App
+
+	// RecvCap bounds the receive buffer in messages; beyond it packets are
+	// dropped (rcvbuf overflow) — visible in /proc/net/udp as drops.
+	RecvCap int
+
+	queued  int
+	Drops   uint64
+	Receivd uint64
+}
+
+// Deliver hands a message from softirq context to the socket: it charges
+// nothing on the processing core (the copy cost is part of the stage cost)
+// and schedules the app thread. It reports false on rcvbuf overflow.
+func (s *Socket) Deliver(now sim.Time, m Message) bool {
+	if s.RecvCap > 0 && s.queued >= s.RecvCap {
+		s.Drops++
+		return false
+	}
+	s.queued++
+	s.Receivd++
+	cost := s.app.ProcessingCost(m)
+	s.Thread.Submit(now, cost, func(done sim.Time) {
+		s.queued--
+		s.app.OnMessage(done, m)
+	})
+	return true
+}
+
+type bindKey struct {
+	proto uint8
+	port  uint16
+}
+
+// Table is a per-namespace socket demux table (one per container and one
+// for the host).
+type Table struct {
+	Name  string
+	socks map[bindKey]*Socket
+}
+
+// NewTable returns an empty socket table.
+func NewTable(name string) *Table {
+	return &Table{Name: name, socks: make(map[bindKey]*Socket)}
+}
+
+// Bind registers a socket for (proto, port). Binding a taken port fails,
+// as bind(2) would.
+func (t *Table) Bind(proto uint8, port uint16, thread *sched.Thread, app App, recvCap int) (*Socket, error) {
+	k := bindKey{proto: proto, port: port}
+	if _, taken := t.socks[k]; taken {
+		return nil, fmt.Errorf("socket: %s port %d/%d already bound", t.Name, proto, port)
+	}
+	s := &Socket{Proto: uint16(proto), Port: port, Thread: thread, app: app, RecvCap: recvCap}
+	t.socks[k] = s
+	return s, nil
+}
+
+// Lookup finds the socket bound to (proto, dstPort), or nil.
+func (t *Table) Lookup(proto uint8, port uint16) *Socket {
+	return t.socks[bindKey{proto: proto, port: port}]
+}
+
+// AppFunc is a convenience App built from two functions.
+type AppFunc struct {
+	Cost func(m Message) sim.Time
+	Fn   func(done sim.Time, m Message)
+}
+
+// ProcessingCost implements App.
+func (a AppFunc) ProcessingCost(m Message) sim.Time {
+	if a.Cost == nil {
+		return 0
+	}
+	return a.Cost(m)
+}
+
+// OnMessage implements App.
+func (a AppFunc) OnMessage(done sim.Time, m Message) {
+	if a.Fn != nil {
+		a.Fn(done, m)
+	}
+}

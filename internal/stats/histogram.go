@@ -1,0 +1,292 @@
+// Package stats provides the measurement machinery used by every
+// experiment: a log-bucketed latency histogram (in the spirit of
+// HdrHistogram), percentile and CDF extraction, and rate counters.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"prism/internal/sim"
+)
+
+// Histogram records int64 nanosecond values with bounded relative error.
+//
+// Values are bucketed as (exponent, mantissa-slot): each power-of-two range
+// is split into subBuckets linear slots, giving a worst-case relative
+// quantile error of 1/subBuckets (~0.8% with the default 128). The zero
+// value is NOT ready to use; call NewHistogram.
+type Histogram struct {
+	counts     []uint64
+	subBuckets int
+	subShift   uint // log2(subBuckets)
+	count      uint64
+	sum        float64
+	min        int64
+	max        int64
+}
+
+const defaultSubBuckets = 128
+
+// NewHistogram returns an empty histogram able to record values in
+// [0, 2^62) nanoseconds.
+func NewHistogram() *Histogram {
+	sb := defaultSubBuckets
+	shift := uint(bitsLen(uint64(sb)) - 1)
+	// 64 exponent ranges x subBuckets slots is more than enough for any
+	// latency this simulator can produce; ~64 KiB per histogram.
+	return &Histogram{
+		counts:     make([]uint64, 64*sb),
+		subBuckets: sb,
+		subShift:   shift,
+		min:        math.MaxInt64,
+		max:        -1,
+	}
+}
+
+func bitsLen(v uint64) int {
+	n := 0
+	for v != 0 {
+		v >>= 1
+		n++
+	}
+	return n
+}
+
+// bucketIndex maps a non-negative value to its bucket.
+func (h *Histogram) bucketIndex(v int64) int {
+	if v < int64(h.subBuckets) {
+		return int(v)
+	}
+	u := uint64(v)
+	exp := bitsLen(u) - int(h.subShift) - 1 // how far above the linear range
+	slot := int(u >> uint(exp))             // in [subBuckets, 2*subBuckets)
+	return exp*h.subBuckets + slot
+}
+
+// bucketLow returns the smallest value mapping to bucket i.
+func (h *Histogram) bucketLow(i int) int64 {
+	if i < h.subBuckets {
+		return int64(i)
+	}
+	exp := i/h.subBuckets - 1
+	slot := i - exp*h.subBuckets // in [subBuckets, 2*subBuckets)
+	return int64(slot) << uint(exp)
+}
+
+// Record adds one observation. Negative values are clamped to zero: they
+// can only arise from model bugs, and the invariant tests catch those
+// separately.
+func (h *Histogram) Record(v sim.Time) {
+	n := int64(v)
+	if n < 0 {
+		n = 0
+	}
+	h.counts[h.bucketIndex(n)]++
+	h.count++
+	h.sum += float64(n)
+	if n < h.min {
+		h.min = n
+	}
+	if n > h.max {
+		h.max = n
+	}
+}
+
+// Count returns the number of recorded observations.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Min returns the smallest recorded value, or 0 if empty.
+func (h *Histogram) Min() sim.Time {
+	if h.count == 0 {
+		return 0
+	}
+	return sim.Time(h.min)
+}
+
+// Max returns an upper bound of the largest recorded value (exact to bucket
+// resolution), or 0 if empty.
+func (h *Histogram) Max() sim.Time {
+	if h.count == 0 {
+		return 0
+	}
+	return sim.Time(h.max)
+}
+
+// Mean returns the arithmetic mean, or 0 if empty.
+func (h *Histogram) Mean() sim.Time {
+	if h.count == 0 {
+		return 0
+	}
+	return sim.Time(h.sum / float64(h.count))
+}
+
+// Quantile returns the value at quantile q in [0,1]. For q=0 it returns
+// Min; for q=1 it returns Max. Empty histograms return 0.
+func (h *Histogram) Quantile(q float64) sim.Time {
+	if h.count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.Min()
+	}
+	if q >= 1 {
+		return h.Max()
+	}
+	rank := uint64(math.Ceil(q * float64(h.count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen uint64
+	for i, c := range h.counts {
+		seen += c
+		if seen >= rank {
+			v := h.bucketLow(i)
+			// Clamp to the exact observed range so quantiles are monotone
+			// with the exact Min/Max endpoints.
+			if v < h.min {
+				v = h.min
+			}
+			if v > h.max {
+				v = h.max
+			}
+			return sim.Time(v)
+		}
+	}
+	return sim.Time(h.max)
+}
+
+// Median is Quantile(0.5).
+func (h *Histogram) Median() sim.Time { return h.Quantile(0.5) }
+
+// P99 is Quantile(0.99).
+func (h *Histogram) P99() sim.Time { return h.Quantile(0.99) }
+
+// CDFPoint is one point of a cumulative distribution.
+type CDFPoint struct {
+	Value    sim.Time // latency
+	Fraction float64  // cumulative fraction of observations <= Value
+}
+
+// CDF returns the cumulative distribution with one point per non-empty
+// bucket, suitable for plotting Fig. 3/9/10-style curves.
+func (h *Histogram) CDF() []CDFPoint {
+	if h.count == 0 {
+		return nil
+	}
+	pts := make([]CDFPoint, 0, 64)
+	var seen uint64
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		seen += c
+		pts = append(pts, CDFPoint{
+			Value:    sim.Time(h.bucketLow(i)),
+			Fraction: float64(seen) / float64(h.count),
+		})
+	}
+	return pts
+}
+
+// Merge adds all observations of other into h. The two histograms must
+// share the same geometry (they do unless constructed differently).
+func (h *Histogram) Merge(other *Histogram) {
+	if other == nil || other.count == 0 {
+		return
+	}
+	if other.subBuckets != h.subBuckets {
+		panic("stats: merging histograms with different geometry")
+	}
+	for i, c := range other.counts {
+		h.counts[i] += c
+	}
+	h.count += other.count
+	h.sum += other.sum
+	if other.min < h.min {
+		h.min = other.min
+	}
+	if other.max > h.max {
+		h.max = other.max
+	}
+}
+
+// Reset clears all recorded observations.
+func (h *Histogram) Reset() {
+	for i := range h.counts {
+		h.counts[i] = 0
+	}
+	h.count = 0
+	h.sum = 0
+	h.min = math.MaxInt64
+	h.max = -1
+}
+
+// Summary is a compact set of the statistics the paper reports.
+type Summary struct {
+	Count          uint64
+	Min, Mean, Max sim.Time
+	P50, P90, P99  sim.Time
+	P999           sim.Time
+}
+
+// Summarize extracts a Summary.
+func (h *Histogram) Summarize() Summary {
+	return Summary{
+		Count: h.count,
+		Min:   h.Min(),
+		Mean:  h.Mean(),
+		Max:   h.Max(),
+		P50:   h.Quantile(0.50),
+		P90:   h.Quantile(0.90),
+		P99:   h.Quantile(0.99),
+		P999:  h.Quantile(0.999),
+	}
+}
+
+// String renders the summary as a single human-readable line in µs.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d min=%.1fµs p50=%.1fµs mean=%.1fµs p90=%.1fµs p99=%.1fµs p99.9=%.1fµs max=%.1fµs",
+		s.Count, s.Min.Micros(), s.P50.Micros(), s.Mean.Micros(),
+		s.P90.Micros(), s.P99.Micros(), s.P999.Micros(), s.Max.Micros())
+}
+
+// FormatCDF renders a CDF as "value_us fraction" lines, the format the
+// plotting pipeline and EXPERIMENTS.md tables consume.
+func FormatCDF(pts []CDFPoint) string {
+	var b strings.Builder
+	for _, p := range pts {
+		fmt.Fprintf(&b, "%.2f\t%.6f\n", p.Value.Micros(), p.Fraction)
+	}
+	return b.String()
+}
+
+// QuantileOfSorted returns the q-quantile of a sorted slice using nearest
+// rank. It is the exact counterpart of Histogram.Quantile for tests.
+func QuantileOfSorted(sorted []sim.Time, q float64) sim.Time {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	rank := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}
+
+// SortTimes sorts a slice of times ascending (helper for exact-quantile
+// comparisons in tests).
+func SortTimes(ts []sim.Time) {
+	sort.Slice(ts, func(i, j int) bool { return ts[i] < ts[j] })
+}

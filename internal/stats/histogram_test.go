@@ -1,0 +1,240 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"prism/internal/sim"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram()
+	if h.Count() != 0 || h.Min() != 0 || h.Max() != 0 || h.Mean() != 0 {
+		t.Error("empty histogram stats not all zero")
+	}
+	if h.Quantile(0.5) != 0 {
+		t.Error("empty histogram quantile != 0")
+	}
+	if h.CDF() != nil {
+		t.Error("empty histogram CDF != nil")
+	}
+}
+
+func TestHistogramSingleValue(t *testing.T) {
+	h := NewHistogram()
+	h.Record(42)
+	if h.Count() != 1 {
+		t.Errorf("Count = %d", h.Count())
+	}
+	if h.Min() != 42 || h.Max() != 42 || h.Mean() != 42 {
+		t.Errorf("min/max/mean = %v/%v/%v, want 42", h.Min(), h.Max(), h.Mean())
+	}
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if h.Quantile(q) != 42 {
+			t.Errorf("Quantile(%v) = %v, want 42", q, h.Quantile(q))
+		}
+	}
+}
+
+func TestHistogramSmallValuesExact(t *testing.T) {
+	// Values below subBuckets are recorded exactly.
+	h := NewHistogram()
+	for i := 0; i < 100; i++ {
+		h.Record(sim.Time(i))
+	}
+	// Nearest-rank: median of 0..99 is the 50th smallest value, i.e. 49.
+	if got := h.Quantile(0.5); got != 49 {
+		t.Errorf("median = %v, want 49", got)
+	}
+	if got := h.Quantile(0.99); got != 98 {
+		t.Errorf("p99 = %v, want 98", got)
+	}
+}
+
+func TestHistogramNegativeClamped(t *testing.T) {
+	h := NewHistogram()
+	h.Record(-5)
+	if h.Min() != 0 {
+		t.Errorf("Min = %v, want 0", h.Min())
+	}
+}
+
+func TestHistogramRelativeError(t *testing.T) {
+	h := NewHistogram()
+	var exact []sim.Time
+	r := sim.NewRNG(9)
+	for i := 0; i < 50000; i++ {
+		v := sim.Time(r.Intn(100_000_000)) // up to 100ms
+		h.Record(v)
+		exact = append(exact, v)
+	}
+	SortTimes(exact)
+	for _, q := range []float64{0.01, 0.25, 0.5, 0.9, 0.99, 0.999} {
+		want := QuantileOfSorted(exact, q)
+		got := h.Quantile(q)
+		if want == 0 {
+			continue
+		}
+		relErr := math.Abs(float64(got-want)) / float64(want)
+		if relErr > 0.01 {
+			t.Errorf("q=%v: got %v want %v (rel err %.4f)", q, got, want, relErr)
+		}
+	}
+}
+
+func TestHistogramQuantileMonotoneProperty(t *testing.T) {
+	prop := func(raw []uint32) bool {
+		h := NewHistogram()
+		for _, v := range raw {
+			h.Record(sim.Time(v))
+		}
+		prev := sim.Time(-1)
+		for q := 0.0; q <= 1.0; q += 0.05 {
+			v := h.Quantile(q)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogramCDF(t *testing.T) {
+	h := NewHistogram()
+	for i := 1; i <= 10; i++ {
+		h.Record(sim.Time(i))
+	}
+	pts := h.CDF()
+	if len(pts) != 10 {
+		t.Fatalf("CDF has %d points, want 10", len(pts))
+	}
+	if pts[len(pts)-1].Fraction != 1.0 {
+		t.Errorf("last CDF fraction = %v, want 1", pts[len(pts)-1].Fraction)
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Fraction <= pts[i-1].Fraction || pts[i].Value <= pts[i-1].Value {
+			t.Errorf("CDF not strictly increasing at %d", i)
+		}
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a, b := NewHistogram(), NewHistogram()
+	for i := 0; i < 100; i++ {
+		a.Record(sim.Time(i))
+		b.Record(sim.Time(i + 100))
+	}
+	a.Merge(b)
+	if a.Count() != 200 {
+		t.Errorf("Count = %d, want 200", a.Count())
+	}
+	if a.Min() != 0 || a.Max() != 199 {
+		t.Errorf("min/max = %v/%v", a.Min(), a.Max())
+	}
+	a.Merge(nil) // no-op
+	if a.Count() != 200 {
+		t.Error("Merge(nil) changed count")
+	}
+}
+
+func TestHistogramReset(t *testing.T) {
+	h := NewHistogram()
+	h.Record(5)
+	h.Reset()
+	if h.Count() != 0 || h.Max() != 0 {
+		t.Error("Reset did not clear")
+	}
+	h.Record(7)
+	if h.Min() != 7 || h.Max() != 7 {
+		t.Error("histogram unusable after Reset")
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	h := NewHistogram()
+	h.Record(1000)
+	s := h.Summarize()
+	if s.Count != 1 {
+		t.Errorf("Count = %d", s.Count)
+	}
+	str := s.String()
+	if str == "" {
+		t.Error("empty summary string")
+	}
+}
+
+func TestFormatCDF(t *testing.T) {
+	h := NewHistogram()
+	h.Record(1000)
+	h.Record(2000)
+	out := FormatCDF(h.CDF())
+	if out == "" {
+		t.Error("empty CDF output")
+	}
+}
+
+func TestQuantileOfSortedEdges(t *testing.T) {
+	if QuantileOfSorted(nil, 0.5) != 0 {
+		t.Error("empty slice quantile != 0")
+	}
+	s := []sim.Time{10, 20, 30}
+	if QuantileOfSorted(s, 0) != 10 || QuantileOfSorted(s, 1) != 30 {
+		t.Error("edge quantiles wrong")
+	}
+	if QuantileOfSorted(s, 0.5) != 20 {
+		t.Error("median wrong")
+	}
+}
+
+func TestRateCounter(t *testing.T) {
+	c := NewRateCounter("rx")
+	c.Start(0)
+	// 1000 packets of 100B over 10ms => 100 kpps, 0.08 Gbps
+	for i := 0; i < 1000; i++ {
+		c.Add(sim.Time(i)*10*sim.Microsecond, 1, 100)
+	}
+	now := 10 * sim.Millisecond
+	if got := c.Kpps(now); math.Abs(got-100) > 1 {
+		t.Errorf("Kpps = %v, want ~100", got)
+	}
+	if got := c.Gbps(now); math.Abs(got-0.08) > 0.001 {
+		t.Errorf("Gbps = %v, want ~0.08", got)
+	}
+	if c.Count() != 1000 || c.Bytes() != 100000 {
+		t.Errorf("count/bytes = %d/%d", c.Count(), c.Bytes())
+	}
+	if c.String() == "" {
+		t.Error("empty string")
+	}
+}
+
+func TestRateCounterAutoStart(t *testing.T) {
+	c := NewRateCounter("x")
+	c.Add(sim.Second, 5, 0)
+	if got := c.PerSecond(sim.Second); math.Abs(got-5) > 0.01 {
+		t.Errorf("PerSecond = %v, want 5", got)
+	}
+}
+
+func TestRateCounterZeroWindow(t *testing.T) {
+	c := NewRateCounter("x")
+	c.Start(100)
+	c.Add(100, 1, 1)
+	// Must not divide by zero.
+	if v := c.PerSecond(100); math.IsInf(v, 0) || math.IsNaN(v) {
+		t.Errorf("PerSecond on zero window = %v", v)
+	}
+}
+
+func BenchmarkHistogramRecord(b *testing.B) {
+	h := NewHistogram()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Record(sim.Time(i % 1000000))
+	}
+}

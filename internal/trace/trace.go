@@ -1,0 +1,83 @@
+// Package trace captures and renders NAPI poll-order traces — the
+// simulator's equivalent of the eBPF tracing the paper used to produce
+// Fig. 6's iteration tables.
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"prism/internal/napi"
+)
+
+// Recorder accumulates poll observations. Install Hook as an engine's
+// OnPoll callback.
+type Recorder struct {
+	// Limit stops recording after this many iterations (0 = unbounded).
+	Limit int
+
+	Observations []napi.PollObservation
+}
+
+// Hook is the OnPoll callback.
+func (r *Recorder) Hook(o napi.PollObservation) {
+	if r.Limit > 0 && len(r.Observations) >= r.Limit {
+		return
+	}
+	r.Observations = append(r.Observations, o)
+}
+
+// DeviceOrder returns just the sequence of polled device names.
+func (r *Recorder) DeviceOrder() []string {
+	out := make([]string, len(r.Observations))
+	for i, o := range r.Observations {
+		out[i] = o.Device
+	}
+	return out
+}
+
+// Table renders the observations as the paper's Fig. 6 table:
+//
+//	Iter.  Device  Poll list
+//	1      eth     [br eth]
+func (r *Recorder) Table(title string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "%-6s %-8s %s\n", "Iter.", "Device", "Poll list")
+	for i, o := range r.Observations {
+		fmt.Fprintf(&b, "%-6d %-8s [%s]\n", i+1, o.Device, strings.Join(o.PollList, " "))
+	}
+	return b.String()
+}
+
+// Interleaved reports whether the trace shows cross-batch interleaving of
+// a three-stage pipeline: some first-stage poll occurring between two
+// polls of the final stage's predecessor chain — concretely, the pattern
+// the paper highlights: the first veth poll happens only *after* a second
+// eth poll.
+func Interleaved(order []string, first, last string) bool {
+	firstPolls := 0
+	for _, d := range order {
+		if d == first {
+			firstPolls++
+		}
+		if d == last {
+			return firstPolls >= 2
+		}
+	}
+	return false
+}
+
+// Streamlined reports whether the order cycles strictly through the given
+// stage sequence (allowing the cycle to terminate early at the end).
+func Streamlined(order, stages []string) bool {
+	if len(stages) == 0 {
+		return false
+	}
+	for i, d := range order {
+		if d != stages[i%len(stages)] {
+			return false
+		}
+	}
+	return len(order) > 0
+}

@@ -1,0 +1,74 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"prism/internal/napi"
+)
+
+func obs(dev string, list ...string) napi.PollObservation {
+	return napi.PollObservation{Device: dev, PollList: list}
+}
+
+func TestRecorderAndTable(t *testing.T) {
+	r := &Recorder{}
+	r.Hook(obs("eth", "br", "eth"))
+	r.Hook(obs("br", "eth", "veth"))
+	tbl := r.Table("Vanilla")
+	for _, want := range []string{"Vanilla", "Iter.", "eth", "[br eth]", "[eth veth]"} {
+		if !strings.Contains(tbl, want) {
+			t.Errorf("table missing %q:\n%s", want, tbl)
+		}
+	}
+	order := r.DeviceOrder()
+	if len(order) != 2 || order[0] != "eth" || order[1] != "br" {
+		t.Errorf("order = %v", order)
+	}
+}
+
+func TestRecorderLimit(t *testing.T) {
+	r := &Recorder{Limit: 2}
+	for i := 0; i < 5; i++ {
+		r.Hook(obs("eth"))
+	}
+	if len(r.Observations) != 2 {
+		t.Errorf("recorded %d, want 2", len(r.Observations))
+	}
+}
+
+func TestInterleaved(t *testing.T) {
+	tests := []struct {
+		name  string
+		order []string
+		want  bool
+	}{
+		{"fig6a vanilla", []string{"eth", "br", "eth", "veth", "br", "eth"}, true},
+		{"fig6b prism", []string{"eth", "br", "veth", "eth", "br", "veth"}, false},
+		{"no veth at all", []string{"eth", "br", "eth", "br"}, false},
+		{"empty", nil, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Interleaved(tt.order, "eth", "veth"); got != tt.want {
+				t.Errorf("Interleaved = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestStreamlined(t *testing.T) {
+	stages := []string{"eth", "br", "veth"}
+	if !Streamlined([]string{"eth", "br", "veth", "eth", "br"}, stages) {
+		t.Error("strict cycle not recognized")
+	}
+	if Streamlined([]string{"eth", "br", "eth"}, stages) {
+		t.Error("interleaved order recognized as streamlined")
+	}
+	if Streamlined(nil, stages) {
+		t.Error("empty order recognized")
+	}
+	if Streamlined([]string{"eth"}, nil) {
+		t.Error("empty stages recognized")
+	}
+}

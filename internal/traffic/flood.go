@@ -1,0 +1,218 @@
+package traffic
+
+import (
+	"prism/internal/overlay"
+	"prism/internal/pkt"
+	"prism/internal/sim"
+	"prism/internal/socket"
+	"prism/internal/stats"
+)
+
+// UDPFlood is the sockperf UDP throughput mode: open-loop background
+// traffic at a configured average packet rate, emitted in short bursts as
+// a real sender's syscall batching and the 100 GbE link deliver them.
+type UDPFlood struct {
+	Eng  *sim.Engine
+	Host *overlay.Host
+
+	// Target is the receiving container; nil targets the host socket.
+	Target  *overlay.Container
+	DstPort uint16
+	Src     overlay.RemoteEndpoint
+
+	// Rate is the average packets per second; Burst is how many frames
+	// arrive back-to-back per emission (sender batching). Poisson draws
+	// exponential inter-burst gaps — bursts then cluster, which is what a
+	// real sender's scheduling jitter does and what builds the standing
+	// queues behind Fig. 3's busy tail; JitterFrac applies instead when
+	// Poisson is off.
+	Rate       float64
+	Burst      int
+	PayloadLen int
+	Poisson    bool
+	JitterFrac float64
+
+	// Delivered counts messages that reached the background app.
+	Delivered *stats.RateCounter
+	Sent      uint64
+
+	stopped bool
+}
+
+// NewUDPFlood constructs a flood with the paper's defaults: small packets,
+// bursts of 64 (one NAPI weight).
+func NewUDPFlood(eng *sim.Engine, h *overlay.Host, target *overlay.Container,
+	src overlay.RemoteEndpoint, dstPort uint16, rate float64) *UDPFlood {
+	return &UDPFlood{
+		Eng: eng, Host: h, Target: target, Src: src, DstPort: dstPort,
+		Rate: rate, Burst: 64, PayloadLen: 64, Poisson: true, JitterFrac: 0.2,
+		Delivered: stats.NewRateCounter("background-rx"),
+	}
+}
+
+// InstallSink binds the receiving sockperf server: it just counts messages,
+// charging perMsgCost on its application core.
+func (f *UDPFlood) InstallSink(perMsgCost sim.Time) error {
+	app := socket.AppFunc{
+		Cost: func(socket.Message) sim.Time { return perMsgCost },
+		Fn: func(done sim.Time, m socket.Message) {
+			f.Delivered.Add(done, 1, len(m.Payload))
+		},
+	}
+	if f.Target != nil {
+		_, err := f.Target.Bind(pkt.ProtoUDP, f.DstPort, app, 4096)
+		return err
+	}
+	_, err := f.Host.BindHost(pkt.ProtoUDP, f.DstPort, app, 4096)
+	return err
+}
+
+// Start schedules the first burst at time at.
+func (f *UDPFlood) Start(at sim.Time) {
+	if f.Rate <= 0 {
+		return
+	}
+	f.Eng.At(at, f.emitBurst)
+}
+
+// Stop ceases emission after the current burst.
+func (f *UDPFlood) Stop() { f.stopped = true }
+
+func (f *UDPFlood) emitBurst() {
+	if f.stopped {
+		return
+	}
+	now := f.Eng.Now()
+	payload := make([]byte, f.PayloadLen)
+	var frame []byte
+	if f.Target != nil {
+		frame = overlay.EncapToServer(f.Src, f.Target, f.DstPort, payload)
+	} else {
+		frame = overlay.HostUDPToServer(f.Src.Port, f.DstPort, payload)
+	}
+	ser := f.Host.Costs.Serialization(len(frame))
+	arrive := now + f.Host.Costs.WireLatency
+	for i := 0; i < f.Burst; i++ {
+		at := arrive + sim.Time(i)*ser
+		fr := frame
+		f.Eng.At(at, func() { f.Host.InjectFromWire(f.Eng.Now(), fr) })
+		f.Sent++
+	}
+	mean := sim.Time(float64(f.Burst) / f.Rate * float64(sim.Second))
+	var gap sim.Time
+	if f.Poisson {
+		gap = f.Eng.RNG().ExpDuration(mean)
+	} else {
+		gap = mean
+		if f.JitterFrac > 0 {
+			gap += f.Eng.RNG().Jitter(sim.Time(float64(mean) * f.JitterFrac))
+		}
+	}
+	if gap < 1 {
+		gap = 1
+	}
+	f.Eng.At(now+gap, f.emitBurst)
+}
+
+// TCPStream is the sockperf TCP throughput mode used as Fig. 13's
+// background: large messages segmented at the MSS by the sender's egress
+// stack (TSO), arriving as trains of MTU frames.
+type TCPStream struct {
+	Eng  *sim.Engine
+	Host *overlay.Host
+
+	Target  *overlay.Container
+	DstPort uint16
+	Src     overlay.RemoteEndpoint
+
+	// MsgRate is messages per second; MsgSize bytes per message.
+	MsgRate    float64
+	MsgSize    int
+	MSS        int
+	JitterFrac float64
+
+	// Delivered counts SKBs reaching the app; DeliveredBytes the payload.
+	Delivered *stats.RateCounter
+	SentPkts  uint64
+
+	seq     uint32
+	stopped bool
+}
+
+// NewTCPStream constructs the Fig. 13 background: 64 KB messages.
+func NewTCPStream(eng *sim.Engine, h *overlay.Host, target *overlay.Container,
+	src overlay.RemoteEndpoint, dstPort uint16, msgRate float64) *TCPStream {
+	return &TCPStream{
+		Eng: eng, Host: h, Target: target, Src: src, DstPort: dstPort,
+		MsgRate: msgRate, MsgSize: 64 * 1024,
+		MSS:        pkt.MTU - pkt.IPv4HeaderLen - pkt.TCPHeaderLen,
+		JitterFrac: 0.2,
+		Delivered:  stats.NewRateCounter("tcp-background-rx"),
+	}
+}
+
+// InstallSink binds the TCP sink app charging perSKBCost per delivered SKB.
+func (t *TCPStream) InstallSink(perSKBCost sim.Time) error {
+	app := socket.AppFunc{
+		Cost: func(socket.Message) sim.Time { return perSKBCost },
+		Fn: func(done sim.Time, m socket.Message) {
+			t.Delivered.Add(done, 1, len(m.Payload))
+		},
+	}
+	if t.Target != nil {
+		_, err := t.Target.Bind(pkt.ProtoTCP, t.DstPort, app, 8192)
+		return err
+	}
+	_, err := t.Host.BindHost(pkt.ProtoTCP, t.DstPort, app, 8192)
+	return err
+}
+
+// Start schedules the first message at time at.
+func (t *TCPStream) Start(at sim.Time) {
+	if t.MsgRate <= 0 {
+		return
+	}
+	t.Eng.At(at, t.emitMessage)
+}
+
+// Stop ceases emission after the current message.
+func (t *TCPStream) Stop() { t.stopped = true }
+
+func (t *TCPStream) emitMessage() {
+	if t.stopped {
+		return
+	}
+	now := t.Eng.Now()
+	segments := (t.MsgSize + t.MSS - 1) / t.MSS
+	arrive := now + t.Host.Costs.WireLatency
+	for i := 0; i < segments; i++ {
+		size := t.MSS
+		if i == segments-1 {
+			size = t.MsgSize - i*t.MSS
+		}
+		var frame []byte
+		if t.Target != nil {
+			frame = overlay.EncapTCPToServer(t.Src, t.Target, t.DstPort, t.seq, make([]byte, size))
+		} else {
+			frame = pkt.BuildTCPFrame(pkt.TCPFrameSpec{
+				SrcMAC: overlay.ClientMAC, DstMAC: overlay.ServerMAC,
+				SrcIP: overlay.ClientIP, DstIP: overlay.ServerIP,
+				SrcPort: t.Src.Port, DstPort: t.DstPort, Seq: t.seq,
+				Flags: pkt.TCPAck | pkt.TCPPsh, Payload: make([]byte, size),
+			})
+		}
+		t.seq += uint32(size)
+		arrive += t.Host.Costs.Serialization(len(frame))
+		fr := frame
+		t.Eng.At(arrive, func() { t.Host.InjectFromWire(t.Eng.Now(), fr) })
+		t.SentPkts++
+	}
+	gap := sim.Time(float64(sim.Second) / t.MsgRate)
+	if t.JitterFrac > 0 {
+		gap += t.Eng.RNG().Jitter(sim.Time(float64(gap) * t.JitterFrac))
+	}
+	if gap < 1 {
+		gap = 1
+	}
+	t.Eng.At(now+gap, t.emitMessage)
+}

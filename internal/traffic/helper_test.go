@@ -1,0 +1,15 @@
+package traffic
+
+import (
+	"prism/internal/nic"
+	"prism/internal/sim"
+)
+
+// nicConfig builds the moderation+GRO NIC settings used by rig variants.
+func nicConfig(gro bool) nic.Config {
+	return nic.Config{
+		RxUsecs:  6 * sim.Microsecond,
+		RxFrames: 32,
+		GRO:      gro,
+	}
+}

@@ -1,0 +1,145 @@
+package traffic
+
+import (
+	"prism/internal/overlay"
+	"prism/internal/pkt"
+	"prism/internal/sim"
+	"prism/internal/socket"
+	"prism/internal/stats"
+)
+
+// PingPong is the sockperf under-load latency flow: requests at a constant
+// rate with an embedded (sequence, send-timestamp) probe; the server echoes
+// and per-packet latency is computed as RTT/2, exactly as sockperf reports.
+type PingPong struct {
+	Eng  *sim.Engine
+	Host *overlay.Host
+
+	// Target selects the server endpoint: a container (overlay path) or,
+	// if nil, the host network socket at DstPort.
+	Target  *overlay.Container
+	DstPort uint16
+	// Src identifies the client container (or host port when Target nil).
+	Src overlay.RemoteEndpoint
+
+	// Rate is requests per second; Poisson selects exponential gaps.
+	Rate    float64
+	Poisson bool
+
+	PayloadLen int
+
+	ClientTx sim.Time
+	ClientRx sim.Time
+	// Warmup discards samples whose request was sent before this time.
+	Warmup sim.Time
+
+	// Hist records per-packet latency (RTT/2), the value sockperf reports.
+	Hist *stats.Histogram
+	// KernelHist records the server-side in-kernel residence (NIC ring to
+	// socket buffer) of each request — the part of the path PRISM
+	// modifies, free of client-side and reverse-path constants.
+	KernelHist *stats.Histogram
+
+	Sent     uint64
+	Received uint64
+
+	stopped bool
+}
+
+// NewPingPong constructs the flow with defaults filled in.
+func NewPingPong(eng *sim.Engine, h *overlay.Host, target *overlay.Container,
+	src overlay.RemoteEndpoint, dstPort uint16, rate float64) *PingPong {
+	return &PingPong{
+		Eng: eng, Host: h, Target: target, Src: src, DstPort: dstPort,
+		Rate: rate, PayloadLen: 64,
+		ClientTx: DefaultClientTx, ClientRx: DefaultClientRx,
+		Hist:       stats.NewHistogram(),
+		KernelHist: stats.NewHistogram(),
+	}
+}
+
+// InstallEcho binds the echo server app with the given per-request CPU
+// cost, the sockperf server analogue.
+func (p *PingPong) InstallEcho(appCost sim.Time) error {
+	if p.Target != nil {
+		ctr, src, dstPort := p.Target, p.Src, p.DstPort
+		app := socket.AppFunc{
+			Cost: func(socket.Message) sim.Time { return appCost },
+			Fn: func(done sim.Time, m socket.Message) {
+				p.recordKernel(m)
+				ctr.SendUDP(done, src, dstPort, m.Payload)
+			},
+		}
+		_, err := ctr.Bind(pkt.ProtoUDP, p.DstPort, app, 4096)
+		return err
+	}
+	h, dstPort := p.Host, p.DstPort
+	app := socket.AppFunc{
+		Cost: func(socket.Message) sim.Time { return appCost },
+		Fn: func(done sim.Time, m socket.Message) {
+			p.recordKernel(m)
+			h.SendHostUDP(done, m.From.SrcPort, dstPort, m.Payload)
+		},
+	}
+	_, err := h.BindHost(pkt.ProtoUDP, p.DstPort, app, 4096)
+	return err
+}
+
+func (p *PingPong) recordKernel(m socket.Message) {
+	if m.Arrived < p.Warmup {
+		return
+	}
+	p.KernelHist.Record(m.Delivered - m.Arrived)
+}
+
+// Start registers the reply handler and schedules the first request at
+// time at. The flow runs until Stop or the simulation horizon.
+func (p *PingPong) Start(client *Client, at sim.Time) {
+	client.Register(p.Src.Port, p.onReply)
+	p.Eng.At(at, p.sendNext)
+}
+
+// Stop ceases sending after the current request.
+func (p *PingPong) Stop() { p.stopped = true }
+
+func (p *PingPong) interval() sim.Time {
+	mean := sim.Time(float64(sim.Second) / p.Rate)
+	if p.Poisson {
+		return p.Eng.RNG().ExpDuration(mean)
+	}
+	return mean
+}
+
+func (p *PingPong) sendNext() {
+	if p.stopped {
+		return
+	}
+	now := p.Eng.Now()
+	payload := make([]byte, p.PayloadLen)
+	pkt.PutProbe(payload, p.Sent, now)
+	p.Sent++
+
+	var frame []byte
+	if p.Target != nil {
+		frame = overlay.EncapToServer(p.Src, p.Target, p.DstPort, payload)
+	} else {
+		frame = overlay.HostUDPToServer(p.Src.Port, p.DstPort, payload)
+	}
+	arrive := now + p.ClientTx + p.Host.Costs.WireLatency + p.Host.Costs.Serialization(len(frame))
+	f := frame
+	p.Eng.At(arrive, func() { p.Host.InjectFromWire(p.Eng.Now(), f) })
+	p.Eng.At(now+p.interval(), p.sendNext)
+}
+
+func (p *PingPong) onReply(now sim.Time, payload []byte, _ pkt.FlowKey) {
+	_, sentAt, err := pkt.ParseProbe(payload)
+	if err != nil {
+		return
+	}
+	p.Received++
+	if sentAt < p.Warmup {
+		return
+	}
+	rtt := now + p.ClientRx - sentAt
+	p.Hist.Record(rtt / 2)
+}
