@@ -36,9 +36,11 @@ func BenchmarkFig03(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		res = experiments.Fig3(p)
 	}
-	b.ReportMetric(res.MedianRatio, "busy/idle-p50")
-	b.ReportMetric(res.P99Ratio, "busy/idle-p99")
-	b.ReportMetric(res.Busy.Mean.Micros(), "busy-mean-µs")
+	record(b, runPkts(p, 0)+runPkts(p, p.BGRate), map[string]float64{
+		"busy/idle-p50": res.MedianRatio,
+		"busy/idle-p99": res.P99Ratio,
+		"busy-mean-µs":  res.Busy.Mean.Micros(),
+	})
 }
 
 // BenchmarkFig06 — poll-order trace capture (device order booleans).
@@ -54,8 +56,10 @@ func BenchmarkFig06(b *testing.B) {
 		}
 		return 0
 	}
-	b.ReportMetric(bool01(res.VanillaInterleaved), "vanilla-interleaved")
-	b.ReportMetric(bool01(res.PrismStreamlined), "prism-streamlined")
+	record(b, 2*runPkts(p, p.BGRate), map[string]float64{
+		"vanilla-interleaved": bool01(res.VanillaInterleaved),
+		"prism-streamlined":   bool01(res.PrismStreamlined),
+	})
 }
 
 // BenchmarkFig08 — per-mode latency and single-core max throughput.
@@ -65,10 +69,12 @@ func BenchmarkFig08(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		res = experiments.Fig8(p)
 	}
+	metrics := map[string]float64{}
 	for _, row := range res.Rows {
-		b.ReportMetric(row.MaxKpps, row.Mode.String()+"-kpps")
-		b.ReportMetric(row.Latency.P50.Micros(), row.Mode.String()+"-p50µs")
+		metrics[row.Mode.String()+"-kpps"] = row.MaxKpps
+		metrics[row.Mode.String()+"-p50µs"] = row.Latency.P50.Micros()
 	}
+	record(b, 3*runPkts(p, p.LoadRate), metrics)
 }
 
 // BenchmarkFig09 — overlay priority differentiation under background load.
@@ -78,10 +84,12 @@ func BenchmarkFig09(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		res = experiments.Fig9(p)
 	}
-	b.ReportMetric(100*res.Improvement(prio.ModeSync, experiments.MeanOf), "sync-avg-cut-%")
-	b.ReportMetric(100*res.Improvement(prio.ModeSync, experiments.P99Of), "sync-p99-cut-%")
-	b.ReportMetric(100*res.KernelImprovement(prio.ModeSync, experiments.MeanOf), "sync-kern-avg-cut-%")
-	b.ReportMetric(100*res.Improvement(prio.ModeBatch, experiments.MeanOf), "batch-avg-cut-%")
+	record(b, runPkts(p, 0)+3*runPkts(p, p.BGRate), map[string]float64{
+		"sync-avg-cut-%":      100 * res.Improvement(prio.ModeSync, experiments.MeanOf),
+		"sync-p99-cut-%":      100 * res.Improvement(prio.ModeSync, experiments.P99Of),
+		"sync-kern-avg-cut-%": 100 * res.KernelImprovement(prio.ModeSync, experiments.MeanOf),
+		"batch-avg-cut-%":     100 * res.Improvement(prio.ModeBatch, experiments.MeanOf),
+	})
 }
 
 // BenchmarkFig10 — the host-network null result.
@@ -91,7 +99,9 @@ func BenchmarkFig10(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		res = experiments.Fig10(p)
 	}
-	b.ReportMetric(100*res.Improvement(prio.ModeSync, experiments.MeanOf), "sync-avg-cut-%")
+	record(b, runPkts(p, 0)+3*runPkts(p, p.BGRate), map[string]float64{
+		"sync-avg-cut-%": 100 * res.Improvement(prio.ModeSync, experiments.MeanOf),
+	})
 }
 
 // BenchmarkFig11 — the background-load sweep (three representative loads).
@@ -102,10 +112,12 @@ func BenchmarkFig11(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		res = experiments.Fig11(p, loads)
 	}
+	metrics := map[string]float64{}
 	for _, s := range res.Series {
 		last := s.Points[len(s.Points)-1]
-		b.ReportMetric(last.Avg.Micros(), s.Mode.String()+"-avg-µs@300k")
+		metrics[s.Mode.String()+"-avg-µs@300k"] = last.Avg.Micros()
 	}
+	record(b, fig11Pkts(p, loads), metrics)
 }
 
 // BenchmarkFig12 — memcached/memaslap.
@@ -118,12 +130,14 @@ func BenchmarkFig12(b *testing.B) {
 	vanBusy, _ := res.Find(prio.ModeVanilla, true)
 	synBusy, _ := res.Find(prio.ModeSync, true)
 	vanIdle, _ := res.Find(prio.ModeVanilla, false)
+	metrics := map[string]float64{}
 	if vanIdle.KOps > 0 {
-		b.ReportMetric(vanBusy.KOps/vanIdle.KOps, "vanilla-busy/idle-tput")
+		metrics["vanilla-busy/idle-tput"] = vanBusy.KOps / vanIdle.KOps
 	}
 	if vanBusy.KOps > 0 {
-		b.ReportMetric(synBusy.KOps/vanBusy.KOps, "sync/vanilla-busy-tput")
+		metrics["sync/vanilla-busy-tput"] = synBusy.KOps / vanBusy.KOps
 	}
+	record(b, 0, metrics)
 }
 
 // BenchmarkFig13 — nginx/wrk2.
@@ -134,13 +148,14 @@ func BenchmarkFig13(b *testing.B) {
 		res = experiments.Fig13(p)
 	}
 	vanBusy, _ := res.Find(prio.ModeVanilla, true)
+	metrics := map[string]float64{}
 	for _, mode := range []prio.Mode{prio.ModeBatch, prio.ModeSync} {
 		row, _ := res.Find(mode, true)
 		if vanBusy.Latency.Mean > 0 {
-			cut := 100 * (1 - float64(row.Latency.Mean)/float64(vanBusy.Latency.Mean))
-			b.ReportMetric(cut, mode.String()+"-avg-cut-%")
+			metrics[mode.String()+"-avg-cut-%"] = 100 * (1 - float64(row.Latency.Mean)/float64(vanBusy.Latency.Mean))
 		}
 	}
+	record(b, 0, metrics)
 }
 
 // ---------------------------------------------------------------------------
@@ -157,8 +172,10 @@ func ablate(b *testing.B, mutate func(*experiments.Params)) {
 	for i := 0; i < b.N; i++ {
 		res = experiments.Fig9(p)
 	}
-	b.ReportMetric(100*res.Improvement(prio.ModeSync, experiments.MeanOf), "sync-avg-cut-%")
-	b.ReportMetric(100*res.KernelImprovement(prio.ModeSync, experiments.MeanOf), "sync-kern-cut-%")
+	record(b, runPkts(p, 0)+3*runPkts(p, p.BGRate), map[string]float64{
+		"sync-avg-cut-%":  100 * res.Improvement(prio.ModeSync, experiments.MeanOf),
+		"sync-kern-cut-%": 100 * res.KernelImprovement(prio.ModeSync, experiments.MeanOf),
+	})
 }
 
 // BenchmarkAblationBurst sweeps background burstiness: PRISM's advantage
@@ -200,6 +217,7 @@ func BenchmarkAblationRawPipeline(b *testing.B) {
 			if fl.Delivered() == 0 {
 				b.Fatal("pipeline delivered nothing")
 			}
+			record(b, float64(fl.Delivered())/float64(b.N), nil)
 		})
 	}
 }
@@ -217,7 +235,7 @@ func BenchmarkAblationGRO(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				util = tcpBGUtil(gro)
 			}
-			b.ReportMetric(100*util, "proc-core-util-%")
+			record(b, 0, map[string]float64{"proc-core-util-%": 100 * util})
 		})
 	}
 }
@@ -263,7 +281,46 @@ func BenchmarkExtDriver(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		res = experiments.ExtDriver(p)
 	}
-	b.ReportMetric(res.OverlayDriver.Mean.Micros(), "overlay-driver-mean-µs")
-	b.ReportMetric(res.OverlayStock.Mean.Micros(), "overlay-stock-mean-µs")
-	b.ReportMetric(res.HostDriver.Mean.Micros(), "host-driver-mean-µs")
+	record(b, 0, map[string]float64{
+		"overlay-driver-mean-µs": res.OverlayDriver.Mean.Micros(),
+		"overlay-stock-mean-µs":  res.OverlayStock.Mean.Micros(),
+		"host-driver-mean-µs":    res.HostDriver.Mean.Micros(),
+	})
+}
+
+// BenchmarkParallelScaling measures the parallel sweep driver on a
+// representative multi-point workload: the Fig. 11 mode×load grid (six
+// independent simulations) at 1, 2, and 4 workers. speedup-vs-1w is
+// wall-clock sequential time over this worker count's time; the
+// determinism tests guarantee the results are identical at every point,
+// so available cores convert directly into speedup (a single-CPU host
+// reports ~1.0 by construction — see BENCH_results.json notes).
+func BenchmarkParallelScaling(b *testing.B) {
+	loads := []float64{10_000, 150_000, 300_000}
+	var seqNs float64
+	for _, w := range []int{1, 2, 4} {
+		w := w
+		b.Run(benchName("workers", w), func(b *testing.B) {
+			p := benchParams()
+			p.Workers = w
+			var res experiments.Fig11Result
+			for i := 0; i < b.N; i++ {
+				res = experiments.Fig11(p, loads)
+			}
+			if len(res.Series) == 0 || len(res.Series[0].Points) == 0 {
+				b.Fatal("empty sweep")
+			}
+			ns := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+			if w == 1 {
+				seqNs = ns
+			}
+			metrics := map[string]float64{
+				"sweep-points": float64(len(res.Series) * len(res.Series[0].Points)),
+			}
+			if w > 1 && seqNs > 0 && ns > 0 {
+				metrics["speedup-vs-1w"] = seqNs / ns
+			}
+			record(b, fig11Pkts(p, loads), metrics)
+		})
+	}
 }

@@ -7,6 +7,11 @@
 //	prismsim -exp all           # everything (takes a few minutes)
 //	prismsim -exp fig9 -duration 2s -bg 250000 -seed 7
 //	prismsim -exp fig3 -cdf     # also dump CDF points for plotting
+//	prismsim -exp fig11 -parallel 4   # fan the sweep's points over 4 workers
+//
+// -parallel N runs multi-point experiments (fig9, fig10, fig11, scaling,
+// and the sweeps) with up to N parameter points in flight, each on its own
+// engine (internal/par). Results are bit-identical for every N.
 package main
 
 import (
@@ -31,6 +36,7 @@ func main() {
 		load     = flag.Float64("load", 270_000, "fig8 latency load (pps)")
 		burst    = flag.Int("burst", 96, "background burst size (frames)")
 		cdf      = flag.Bool("cdf", false, "dump CDF points for CDF figures")
+		parallel = flag.Int("parallel", 1, "worker count for multi-point experiments (deterministic: results identical for any value)")
 	)
 	flag.Parse()
 
@@ -42,6 +48,7 @@ func main() {
 	p.HighRate = *high
 	p.LoadRate = *load
 	p.BGBurst = *burst
+	p.Workers = *parallel
 
 	ok := false
 	run := func(name string, fn func()) {

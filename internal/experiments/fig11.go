@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"prism/internal/par"
 	"prism/internal/prio"
 	"prism/internal/sim"
 )
@@ -36,37 +37,41 @@ type Fig11Result struct {
 // Fig11Loads is the default sweep grid (background kpps).
 var Fig11Loads = []float64{0, 10_000, 50_000, 100_000, 150_000, 200_000, 250_000, 300_000}
 
-// Fig11 sweeps vanilla and PRISM-sync over the load grid.
+// Fig11 sweeps vanilla and PRISM-sync over the load grid. The mode×load
+// grid is a multi-point sweep of independent simulations, so it fans out
+// over p.Workers (sequential when <= 1) with bit-identical results.
 func Fig11(p Params, loads []float64) Fig11Result {
 	if len(loads) == 0 {
 		loads = Fig11Loads
 	}
-	var res Fig11Result
-	for _, mode := range []prio.Mode{prio.ModeVanilla, prio.ModeSync} {
-		s := Fig11Series{Mode: mode}
-		for _, load := range loads {
-			// Sender-side burstiness grows with rate: a 10 kpps sender
-			// never accumulates the 96-frame trains a 300 kpps one does.
-			lp := p
-			lp.BGBurst = int(load / 3125)
-			if lp.BGBurst < 8 {
-				lp.BGBurst = 8
-			}
-			if lp.BGBurst > p.BGBurst {
-				lp.BGBurst = p.BGBurst
-			}
-			hist, _, util := latencyUnderLoad(lp, mode, load, true)
-			sum := hist.Summarize()
-			s.Points = append(s.Points, Fig11Point{
-				BGKpps: load / 1e3,
-				Min:    sum.Min,
-				Avg:    sum.Mean,
-				P99:    sum.P99,
-				Util:   util,
-			})
-		}
-		res.Series = append(res.Series, s)
+	modes := []prio.Mode{prio.ModeVanilla, prio.ModeSync}
+	res := Fig11Result{Series: make([]Fig11Series, len(modes))}
+	for mi, mode := range modes {
+		res.Series[mi] = Fig11Series{Mode: mode, Points: make([]Fig11Point, len(loads))}
 	}
+	par.ForEach(len(modes)*len(loads), p.Workers, func(j int) {
+		mi, li := j/len(loads), j%len(loads)
+		load := loads[li]
+		// Sender-side burstiness grows with rate: a 10 kpps sender
+		// never accumulates the 96-frame trains a 300 kpps one does.
+		lp := p
+		lp.BGBurst = int(load / 3125)
+		if lp.BGBurst < 8 {
+			lp.BGBurst = 8
+		}
+		if lp.BGBurst > p.BGBurst {
+			lp.BGBurst = p.BGBurst
+		}
+		hist, _, util := latencyUnderLoad(lp, modes[mi], load, true)
+		sum := hist.Summarize()
+		res.Series[mi].Points[li] = Fig11Point{
+			BGKpps: load / 1e3,
+			Min:    sum.Min,
+			Avg:    sum.Mean,
+			P99:    sum.P99,
+			Util:   util,
+		}
+	})
 	return res
 }
 

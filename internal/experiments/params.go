@@ -59,6 +59,14 @@ type Params struct {
 	// (hardware flow steering), removing the stage-1 limitation. Off by
 	// default — the paper's prototype does not have it.
 	DriverPrio bool
+
+	// Workers is the parallelism of multi-point experiment drivers
+	// (Fig. 9's mode set, Fig. 11's load grid, the RSS scaling queue
+	// counts): up to Workers parameter points run concurrently, each on
+	// its own engine (internal/par.ForEach). Results are bit-identical
+	// for every value — the determinism tests assert it. <= 1 is the
+	// sequential baseline.
+	Workers int
 }
 
 // Default returns the calibrated defaults.
@@ -73,6 +81,7 @@ func Default() Params {
 		LoadRate: 270_000,
 		EchoCost: 500 * sim.Nanosecond,
 		SinkCost: 600 * sim.Nanosecond,
+		Workers:  1,
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"prism/internal/cpu"
 	"prism/internal/nic"
 	"prism/internal/overlay"
+	"prism/internal/par"
 	"prism/internal/prio"
 	"prism/internal/sim"
 	"prism/internal/stats"
@@ -37,19 +38,28 @@ type ScalingResult struct {
 }
 
 // Scaling runs the evaluation over the queue counts (default 1, 2, 4).
+// Each queue count needs three independent measurements (aggregate
+// throughput, colliding-flow latency under vanilla and under PRISM-sync);
+// all 3×len(queues) points run as one sweep over p.Workers, each writing
+// a distinct field of its point — deterministic for any worker count.
 func Scaling(p Params, queues []int) ScalingResult {
 	if len(queues) == 0 {
 		queues = []int{1, 2, 4}
 	}
-	var res ScalingResult
-	for _, q := range queues {
-		res.Points = append(res.Points, ScalingPoint{
-			Queues:            q,
-			AggKpps:           scalingThroughput(p, q),
-			HighBusyMean:      scalingCollision(p, q, prio.ModeVanilla),
-			HighBusyMeanPrism: scalingCollision(p, q, prio.ModeSync),
-		})
-	}
+	res := ScalingResult{Points: make([]ScalingPoint, len(queues))}
+	par.ForEach(3*len(queues), p.Workers, func(j int) {
+		qi, kind := j/3, j%3
+		q := queues[qi]
+		switch kind {
+		case 0:
+			res.Points[qi].Queues = q
+			res.Points[qi].AggKpps = scalingThroughput(p, q)
+		case 1:
+			res.Points[qi].HighBusyMean = scalingCollision(p, q, prio.ModeVanilla)
+		case 2:
+			res.Points[qi].HighBusyMeanPrism = scalingCollision(p, q, prio.ModeSync)
+		}
+	})
 	return res
 }
 

@@ -124,6 +124,14 @@ type Host struct {
 	// DMA; tx: server→client at transmission). Used by the pcap exporter.
 	Tap func(now sim.Time, frame []byte, tx bool)
 
+	// WireTx, when set, takes over outbound wire delivery: instead of
+	// scheduling the remote receive on the host's own engine, transmit
+	// hands (departure time, computed arrival time, frame) to the hook.
+	// Parallel topologies (internal/par) use it to carry frames over a
+	// cross-shard link whose lookahead is the wire latency, so the client
+	// machine can live on a different shard than the server.
+	WireTx func(now, arrive sim.Time, frame []byte)
+
 	cfg      Config
 	remoteRx func(now sim.Time, frame []byte)
 	nextCore int
@@ -252,8 +260,14 @@ func (h *Host) InjectFromWire(now sim.Time, frame []byte) {
 func (h *Host) QueueFor(frame []byte) int { return h.rssQueue(frame) }
 
 // rssQueue hashes the outer 5-tuple to an RX queue, as NIC RSS does.
-func (h *Host) rssQueue(frame []byte) int {
-	if len(h.NICs) == 1 {
+func (h *Host) rssQueue(frame []byte) int { return RSSQueue(frame, len(h.NICs)) }
+
+// RSSQueue is the NIC's RSS steering function: it hashes a frame's outer
+// 5-tuple onto one of queues RX queues. It is exported so parallel
+// topologies that shard the host per RX queue (internal/par) can steer
+// frames to the right shard with the exact hash the NIC would use.
+func RSSQueue(frame []byte, queues int) int {
+	if queues <= 1 {
 		return 0
 	}
 	flow, err := pkt.ParseFlow(frame)
@@ -273,7 +287,7 @@ func (h *Host) rssQueue(frame []byte) int {
 	mix(byte(flow.DstPort >> 8))
 	mix(byte(flow.DstPort))
 	mix(flow.Proto)
-	return int(hash % uint32(len(h.NICs)))
+	return int(hash % uint32(queues))
 }
 
 // transmit sends a frame toward the client machine, modelling wire latency
@@ -283,10 +297,14 @@ func (h *Host) transmit(now sim.Time, frame []byte) {
 	if h.Tap != nil {
 		h.Tap(now, frame, true)
 	}
+	at := now + h.Costs.WireLatency + h.Costs.Serialization(len(frame))
+	if h.WireTx != nil {
+		h.WireTx(now, at, frame)
+		return
+	}
 	if h.remoteRx == nil {
 		return
 	}
-	at := now + h.Costs.WireLatency + h.Costs.Serialization(len(frame))
 	rx := h.remoteRx
 	f := frame
 	h.Eng.At(at, func() { rx(at, f) })

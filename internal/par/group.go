@@ -1,0 +1,200 @@
+package par
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"prism/internal/sim"
+)
+
+// Group owns a set of shards and the links between them, and schedules
+// their synchronized execution. Build the topology single-threaded (Add,
+// Connect, model construction), then call Run.
+type Group struct {
+	shards []*Shard
+	links  []*Link
+	// lookahead is the minimum over all links — the global safe-window
+	// width. Zero while the group has no links.
+	lookahead sim.Time
+
+	// Windows counts synchronization rounds, for tests and tuning.
+	Windows uint64
+}
+
+// NewGroup returns an empty group.
+func NewGroup() *Group { return &Group{} }
+
+// Add wraps eng as the next shard. Engines must not be shared between
+// shards.
+func (g *Group) Add(name string, eng *sim.Engine) *Shard {
+	s := &Shard{ID: len(g.shards), Name: name, Eng: eng}
+	g.shards = append(g.shards, s)
+	return s
+}
+
+// Shards returns the shards in ID order.
+func (g *Group) Shards() []*Shard { return g.shards }
+
+// Connect creates a link from src to dst whose messages take at least
+// lookahead to arrive; deliver runs on the destination shard, in event
+// context at the message's delivery time. Conservative synchronization is
+// impossible with zero lookahead, so it panics.
+func (g *Group) Connect(src, dst *Shard, lookahead sim.Time, deliver func(at sim.Time, payload any)) *Link {
+	if lookahead <= 0 {
+		panic("par: conservative synchronization requires positive link lookahead")
+	}
+	if src == dst {
+		panic("par: link endpoints must be distinct shards")
+	}
+	l := &Link{Src: src, Dst: dst, Lookahead: lookahead, deliver: deliver}
+	g.links = append(g.links, l)
+	if g.lookahead == 0 || lookahead < g.lookahead {
+		g.lookahead = lookahead
+	}
+	return l
+}
+
+// Run executes all shards up to and including horizon (the same inclusive
+// semantics as sim.Engine.Run), using up to workers goroutines per window.
+// workers <= 1 runs the identical window schedule sequentially — the
+// baseline every determinism test compares against. On return every
+// shard's clock is at horizon, unless a shard halted, which surfaces as
+// ErrHalted wrapped with the shard's identity (the lowest-ID halted shard,
+// for determinism).
+func (g *Group) Run(horizon sim.Time, workers int) error {
+	// Flush construction-time sends so they participate in the first
+	// window computation.
+	g.collect()
+	for {
+		next, ok := g.nextTime()
+		if !ok || next > horizon {
+			break
+		}
+		// The safe horizon: nothing anywhere can affect another shard
+		// before next+lookahead. Events exactly at the group horizon must
+		// fire (inclusive semantics), hence the +1 bound with RunUntil's
+		// strictly-before contract.
+		end := horizon + 1
+		if len(g.links) > 0 {
+			if w := next + g.lookahead; w < end {
+				end = w
+			}
+		}
+		g.inject(end)
+		g.Windows++
+		if err := g.runWindow(end, workers); err != nil {
+			return err
+		}
+		g.collect()
+	}
+	// Finish with every clock at the horizon, mirroring Engine.Run.
+	for _, s := range g.shards {
+		if err := s.Eng.Run(horizon); err != nil {
+			return fmt.Errorf("par: %s: %w", s, err)
+		}
+	}
+	return nil
+}
+
+// nextTime returns the earliest pending work item — engine event or
+// undelivered cross-shard message — across the whole group.
+func (g *Group) nextTime() (sim.Time, bool) {
+	var best sim.Time
+	found := false
+	for _, s := range g.shards {
+		if at, ok := s.Eng.NextAt(); ok && (!found || at < best) {
+			best, found = at, true
+		}
+		if len(s.inbox) > 0 {
+			if at := s.inbox[0].at; !found || at < best {
+				best, found = at, true
+			}
+		}
+	}
+	return best, found
+}
+
+// inject moves every inbox message due before end into its destination
+// engine. Inboxes are sorted by (at, src, seq), so the engines' FIFO
+// tie-breaking observes a deterministic arrival order.
+func (g *Group) inject(end sim.Time) {
+	for _, s := range g.shards {
+		i := 0
+		for i < len(s.inbox) && s.inbox[i].at < end {
+			m := s.inbox[i]
+			fn, at, pl := m.link.deliver, m.at, m.payload
+			s.Eng.At(at, func() { fn(at, pl) })
+			i++
+		}
+		if i > 0 {
+			s.inbox = append(s.inbox[:0], s.inbox[i:]...)
+		}
+	}
+}
+
+// runWindow burns each shard's events up to end, concurrently when
+// workers > 1. Shards share no state during a window, so assignment of
+// shards to workers cannot affect results.
+func (g *Group) runWindow(end sim.Time, workers int) error {
+	if workers > len(g.shards) {
+		workers = len(g.shards)
+	}
+	if workers <= 1 {
+		for _, s := range g.shards {
+			s.err = s.Eng.RunUntil(end)
+		}
+	} else {
+		var next atomic.Int64
+		next.Store(-1)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1))
+					if i >= len(g.shards) {
+						return
+					}
+					s := g.shards[i]
+					s.err = s.Eng.RunUntil(end)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	for _, s := range g.shards {
+		if s.err != nil {
+			return fmt.Errorf("par: %s: %w", s, s.err)
+		}
+	}
+	return nil
+}
+
+// collect drains every link buffer into the destination inboxes and
+// restores their (at, src, seq) order. Runs only at barriers.
+func (g *Group) collect() {
+	for _, l := range g.links {
+		if len(l.buf) == 0 {
+			continue
+		}
+		l.Dst.inbox = append(l.Dst.inbox, l.buf...)
+		l.buf = l.buf[:0]
+	}
+	for _, s := range g.shards {
+		if len(s.inbox) > 1 {
+			in := s.inbox
+			sort.Slice(in, func(i, j int) bool {
+				if in[i].at != in[j].at {
+					return in[i].at < in[j].at
+				}
+				if in[i].src != in[j].src {
+					return in[i].src < in[j].src
+				}
+				return in[i].seq < in[j].seq
+			})
+		}
+	}
+}

@@ -1,0 +1,50 @@
+package par
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// ForEach runs fn(i) for every i in [0, n) across a pool of up to workers
+// goroutines and returns when all calls have completed. It is the driver
+// behind -parallel sweeps: multi-point experiments (the Fig. 11 load grid,
+// the RSS scaling queue counts) are embarrassingly parallel because every
+// point builds its own engine, so running points concurrently cannot
+// change any point's result — provided each fn(i) writes only its own
+// result slot, which is the required calling discipline.
+//
+// workers <= 1 runs inline in index order: the sequential baseline that
+// the determinism tests compare parallel runs against.
+func ForEach(n, workers int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	// Work-stealing by shared counter: long points (high-load sweeps) do
+	// not leave workers idle behind a static partition.
+	var next atomic.Int64
+	next.Store(-1)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

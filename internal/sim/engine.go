@@ -162,6 +162,38 @@ func (e *Engine) Run(horizon Time) error {
 	return nil
 }
 
+// RunUntil dispatches every event scheduled strictly before t, then pauses.
+// Unlike Run it does not advance the clock to t: the clock is left at the
+// last dispatched event, so a caller may inject new events at any time >= t
+// (via At) and resume with a later RunUntil or Run. This is the primitive
+// the conservative shard scheduler (internal/par) builds its synchronization
+// windows on: each shard burns events up to the window edge, cross-shard
+// messages are injected at the barrier, and the next window resumes.
+func (e *Engine) RunUntil(t Time) error {
+	e.halted = false
+	for !e.halted {
+		next, ok := e.peek()
+		if !ok || next.At >= t {
+			break
+		}
+		e.Step()
+	}
+	if e.halted {
+		return ErrHalted
+	}
+	return nil
+}
+
+// NextAt reports the timestamp of the earliest pending event. ok is false
+// when the queue is empty.
+func (e *Engine) NextAt() (Time, bool) {
+	ev, ok := e.peek()
+	if !ok {
+		return 0, false
+	}
+	return ev.At, true
+}
+
 // RunUntilIdle dispatches events until the queue drains or Halt is called.
 func (e *Engine) RunUntilIdle() error {
 	e.halted = false

@@ -152,6 +152,74 @@ func TestEngineRunAdvancesToHorizonWhenIdle(t *testing.T) {
 	}
 }
 
+func TestEngineRunUntilPausesBeforeHorizon(t *testing.T) {
+	e := NewEngine(1)
+	var ran []Time
+	e.At(10, func() { ran = append(ran, 10) })
+	e.At(50, func() { ran = append(ran, 50) })
+	e.At(100, func() { ran = append(ran, 100) })
+	if err := e.RunUntil(50); err != nil {
+		t.Fatal(err)
+	}
+	// Strictly-before semantics: 10 fires, 50 and 100 stay pending.
+	if len(ran) != 1 || ran[0] != 10 {
+		t.Fatalf("ran = %v, want [10]", ran)
+	}
+	if e.Now() != 10 {
+		t.Errorf("Now() = %v, want 10 (clock not forced to horizon)", e.Now())
+	}
+	if e.Pending() != 2 {
+		t.Errorf("Pending() = %d, want 2", e.Pending())
+	}
+	// The pause point accepts injection at any time >= the horizon...
+	e.At(50, func() { ran = append(ran, 51) }) // FIFO after the original 50
+	// ...and resuming picks everything up in order.
+	if err := e.RunUntil(101); err != nil {
+		t.Fatal(err)
+	}
+	want := []Time{10, 50, 51, 100}
+	if len(ran) != len(want) {
+		t.Fatalf("ran = %v, want %v", ran, want)
+	}
+	for i := range want {
+		if ran[i] != want[i] {
+			t.Fatalf("ran = %v, want %v", ran, want)
+		}
+	}
+}
+
+func TestEngineRunUntilEmptyAndHalt(t *testing.T) {
+	e := NewEngine(1)
+	if err := e.RunUntil(1000); err != nil {
+		t.Fatal(err)
+	}
+	if e.Now() != 0 {
+		t.Errorf("Now() = %v, want 0 on empty queue", e.Now())
+	}
+	e.At(5, func() { e.Halt() })
+	e.At(6, func() { t.Error("event after halt ran") })
+	if err := e.RunUntil(10); err != ErrHalted {
+		t.Fatalf("err = %v, want ErrHalted", err)
+	}
+}
+
+func TestEngineNextAt(t *testing.T) {
+	e := NewEngine(1)
+	if _, ok := e.NextAt(); ok {
+		t.Error("NextAt() ok on empty queue")
+	}
+	ev := e.At(30, func() {})
+	e.At(70, func() {})
+	if at, ok := e.NextAt(); !ok || at != 30 {
+		t.Errorf("NextAt() = %v,%v, want 30,true", at, ok)
+	}
+	// Cancelled heads are skipped.
+	e.Cancel(ev)
+	if at, ok := e.NextAt(); !ok || at != 70 {
+		t.Errorf("NextAt() after cancel = %v,%v, want 70,true", at, ok)
+	}
+}
+
 func TestEngineHalt(t *testing.T) {
 	e := NewEngine(1)
 	count := 0

@@ -213,6 +213,19 @@ func (h *Histogram) Merge(other *Histogram) {
 	}
 }
 
+// MergeHistograms combines shard-local histograms into a fresh one,
+// folding them in slice order. Bucket counts are order-independent, but
+// taking shards in ID order keeps the operation deterministic by
+// construction, matching the merge discipline of every other recorder
+// under sharding (see internal/par).
+func MergeHistograms(hs ...*Histogram) *Histogram {
+	out := NewHistogram()
+	for _, h := range hs {
+		out.Merge(h)
+	}
+	return out
+}
+
 // Reset clears all recorded observations.
 func (h *Histogram) Reset() {
 	for i := range h.counts {

@@ -2,6 +2,7 @@ package stats
 
 import (
 	"math"
+	"reflect"
 	"testing"
 	"testing/quick"
 
@@ -236,5 +237,68 @@ func BenchmarkHistogramRecord(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		h.Record(sim.Time(i % 1000000))
+	}
+}
+
+func TestMergeHistogramsMatchesSingleRecorder(t *testing.T) {
+	// Shard-local recording split across three histograms must merge to
+	// exactly what one recorder would have seen.
+	whole := NewHistogram()
+	parts := []*Histogram{NewHistogram(), NewHistogram(), NewHistogram()}
+	rng := sim.NewRNG(9)
+	for i := 0; i < 5000; i++ {
+		v := sim.Time(rng.Intn(2_000_000))
+		whole.Record(v)
+		parts[i%3].Record(v)
+	}
+	merged := MergeHistograms(parts...)
+	if !reflect.DeepEqual(merged.Summarize(), whole.Summarize()) {
+		t.Errorf("merged summary %v != whole %v", merged.Summarize(), whole.Summarize())
+	}
+	if !reflect.DeepEqual(merged.CDF(), whole.CDF()) {
+		t.Error("merged CDF bucket counts differ from single-recorder CDF")
+	}
+	// Merge order cannot matter for the contents.
+	reversed := MergeHistograms(parts[2], parts[1], parts[0])
+	if !reflect.DeepEqual(reversed.CDF(), merged.CDF()) {
+		t.Error("merge is order-sensitive")
+	}
+}
+
+func TestMergeHistogramsEmpty(t *testing.T) {
+	m := MergeHistograms()
+	if m.Count() != 0 {
+		t.Errorf("empty merge count = %d", m.Count())
+	}
+	m = MergeHistograms(NewHistogram(), nil)
+	if m.Count() != 0 {
+		t.Errorf("merge with nil count = %d", m.Count())
+	}
+}
+
+func TestRateCounterMerge(t *testing.T) {
+	a := NewRateCounter("q0")
+	a.Start(0)
+	a.Add(10*sim.Millisecond, 100, 1000)
+	b := NewRateCounter("q1")
+	b.Start(5 * sim.Millisecond)
+	b.Add(20*sim.Millisecond, 300, 3000)
+	a.Merge(b)
+	if a.Count() != 400 || a.Bytes() != 4000 {
+		t.Errorf("count/bytes = %d/%d, want 400/4000", a.Count(), a.Bytes())
+	}
+	// Window is the union [0, 20ms]: 400 events over 20ms = 20 kpps.
+	if got := a.Kpps(20 * sim.Millisecond); math.Abs(got-20) > 0.01 {
+		t.Errorf("Kpps = %v, want 20", got)
+	}
+	// Merging into a never-started counter adopts the other's window.
+	c := NewRateCounter("agg")
+	c.Merge(b)
+	if got := c.PerSecond(20 * sim.Millisecond); math.Abs(got-20000) > 1 {
+		t.Errorf("PerSecond = %v, want 20000 (15ms window)", got)
+	}
+	c.Merge(nil) // no-op
+	if c.Count() != 300 {
+		t.Errorf("count after nil merge = %d", c.Count())
 	}
 }

@@ -5,6 +5,7 @@ package trace
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"prism/internal/napi"
@@ -25,6 +26,43 @@ func (r *Recorder) Hook(o napi.PollObservation) {
 		return
 	}
 	r.Observations = append(r.Observations, o)
+}
+
+// Merge combines shard-local recorders into one, ordering observations by
+// (Time, recorder index, Iteration). With one NAPI engine per shard
+// (internal/par), each recorder arrives internally time-sorted, and the
+// recorder index — pass recorders in shard ID order — breaks cross-shard
+// timestamp ties the same way every run, so the merged trace is
+// deterministic regardless of how many workers executed the shards.
+func Merge(recs ...*Recorder) *Recorder {
+	type keyed struct {
+		obs  napi.PollObservation
+		rec  int
+		iter uint64
+	}
+	var all []keyed
+	for ri, r := range recs {
+		if r == nil {
+			continue
+		}
+		for _, o := range r.Observations {
+			all = append(all, keyed{obs: o, rec: ri, iter: o.Iteration})
+		}
+	}
+	sort.SliceStable(all, func(i, j int) bool {
+		if all[i].obs.Time != all[j].obs.Time {
+			return all[i].obs.Time < all[j].obs.Time
+		}
+		if all[i].rec != all[j].rec {
+			return all[i].rec < all[j].rec
+		}
+		return all[i].iter < all[j].iter
+	})
+	out := &Recorder{Observations: make([]napi.PollObservation, len(all))}
+	for i, k := range all {
+		out.Observations[i] = k.obs
+	}
+	return out
 }
 
 // DeviceOrder returns just the sequence of polled device names.

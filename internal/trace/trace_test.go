@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"prism/internal/napi"
+	"prism/internal/sim"
 )
 
 func obs(dev string, list ...string) napi.PollObservation {
@@ -70,5 +71,42 @@ func TestStreamlined(t *testing.T) {
 	}
 	if Streamlined([]string{"eth"}, nil) {
 		t.Error("empty stages recognized")
+	}
+}
+
+func timedObs(at int64, iter uint64, dev string) napi.PollObservation {
+	return napi.PollObservation{Time: sim.Time(at), Iteration: iter, Device: dev}
+}
+
+func TestMergeOrdersByTimeShardIteration(t *testing.T) {
+	// Two shard-local recorders with interleaved and tying timestamps.
+	a := &Recorder{Observations: []napi.PollObservation{
+		timedObs(10, 1, "a1"), timedObs(30, 2, "a2"), timedObs(30, 3, "a3"),
+	}}
+	b := &Recorder{Observations: []napi.PollObservation{
+		timedObs(5, 1, "b1"), timedObs(30, 2, "b2"),
+	}}
+	m := Merge(a, b)
+	got := m.DeviceOrder()
+	// Ties at t=30 resolve by recorder index (a before b), then iteration.
+	want := []string{"b1", "a1", "a2", "a3", "b2"}
+	if len(got) != len(want) {
+		t.Fatalf("merged order = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("merged order = %v, want %v", got, want)
+		}
+	}
+	// Argument order is part of the key: swapping shards must swap ties.
+	swapped := Merge(b, a).DeviceOrder()
+	if swapped[2] != "b2" {
+		t.Errorf("swapped merge order = %v, want b2 before a2/a3 at the tie", swapped)
+	}
+}
+
+func TestMergeNilAndEmpty(t *testing.T) {
+	if got := Merge(nil, &Recorder{}); len(got.Observations) != 0 {
+		t.Errorf("merge of empties has %d observations", len(got.Observations))
 	}
 }

@@ -47,6 +47,13 @@ func (c *Client) Register(port uint16, fn func(now sim.Time, payload []byte, flo
 	c.handlers[port] = fn
 }
 
+// Deliver feeds a wire frame into the client stack at time now. The
+// standard topology routes frames here automatically via AttachRemote;
+// parallel split topologies (internal/par) call it from the
+// server→client link's deliver hook so the client machine can run on its
+// own shard.
+func (c *Client) Deliver(now sim.Time, frame []byte) { c.rx(now, frame) }
+
 func (c *Client) rx(now sim.Time, frame []byte) {
 	inner := frame
 	if pkt.IsVXLAN(frame) {

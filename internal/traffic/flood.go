@@ -32,6 +32,10 @@ type UDPFlood struct {
 	Poisson    bool
 	JitterFrac float64
 
+	// Inject, when set, replaces the default wire delivery with a
+	// cross-shard hand-off, as on PingPong.Inject.
+	Inject func(now, arrive sim.Time, frame []byte)
+
 	// Delivered counts messages that reached the background app.
 	Delivered *stats.RateCounter
 	Sent      uint64
@@ -94,8 +98,12 @@ func (f *UDPFlood) emitBurst() {
 	arrive := now + f.Host.Costs.WireLatency
 	for i := 0; i < f.Burst; i++ {
 		at := arrive + sim.Time(i)*ser
-		fr := frame
-		f.Eng.At(at, func() { f.Host.InjectFromWire(f.Eng.Now(), fr) })
+		if f.Inject != nil {
+			f.Inject(now, at, frame)
+		} else {
+			fr := frame
+			f.Eng.At(at, func() { f.Host.InjectFromWire(f.Eng.Now(), fr) })
+		}
 		f.Sent++
 	}
 	mean := sim.Time(float64(f.Burst) / f.Rate * float64(sim.Second))
@@ -130,6 +138,10 @@ type TCPStream struct {
 	MsgSize    int
 	MSS        int
 	JitterFrac float64
+
+	// Inject, when set, replaces the default wire delivery with a
+	// cross-shard hand-off, as on PingPong.Inject.
+	Inject func(now, arrive sim.Time, frame []byte)
 
 	// Delivered counts SKBs reaching the app; DeliveredBytes the payload.
 	Delivered *stats.RateCounter
@@ -203,8 +215,12 @@ func (t *TCPStream) emitMessage() {
 		}
 		t.seq += uint32(size)
 		arrive += t.Host.Costs.Serialization(len(frame))
-		fr := frame
-		t.Eng.At(arrive, func() { t.Host.InjectFromWire(t.Eng.Now(), fr) })
+		if t.Inject != nil {
+			t.Inject(now, arrive, frame)
+		} else {
+			fr := frame
+			t.Eng.At(arrive, func() { t.Host.InjectFromWire(t.Eng.Now(), fr) })
+		}
 		t.SentPkts++
 	}
 	gap := sim.Time(float64(sim.Second) / t.MsgRate)

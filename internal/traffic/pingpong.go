@@ -33,6 +33,18 @@ type PingPong struct {
 	// Warmup discards samples whose request was sent before this time.
 	Warmup sim.Time
 
+	// Inject, when set, replaces the default wire delivery (an event on
+	// Eng calling Host.InjectFromWire): the generator hands each request
+	// frame with its departure and computed arrival time to the hook.
+	// Parallel split topologies route it over a cross-shard link so the
+	// generator can run on a client shard while the host runs elsewhere.
+	Inject func(now, arrive sim.Time, frame []byte)
+
+	// OnSample, when set, observes every post-warmup latency sample in
+	// delivery order, keyed by the probe sequence number — the per-flow
+	// delivered sequence the determinism tests compare.
+	OnSample func(seq uint64, lat sim.Time)
+
 	// Hist records per-packet latency (RTT/2), the value sockperf reports.
 	Hist *stats.Histogram
 	// KernelHist records the server-side in-kernel residence (NIC ring to
@@ -126,13 +138,17 @@ func (p *PingPong) sendNext() {
 		frame = overlay.HostUDPToServer(p.Src.Port, p.DstPort, payload)
 	}
 	arrive := now + p.ClientTx + p.Host.Costs.WireLatency + p.Host.Costs.Serialization(len(frame))
-	f := frame
-	p.Eng.At(arrive, func() { p.Host.InjectFromWire(p.Eng.Now(), f) })
+	if p.Inject != nil {
+		p.Inject(now, arrive, frame)
+	} else {
+		f := frame
+		p.Eng.At(arrive, func() { p.Host.InjectFromWire(p.Eng.Now(), f) })
+	}
 	p.Eng.At(now+p.interval(), p.sendNext)
 }
 
 func (p *PingPong) onReply(now sim.Time, payload []byte, _ pkt.FlowKey) {
-	_, sentAt, err := pkt.ParseProbe(payload)
+	seq, sentAt, err := pkt.ParseProbe(payload)
 	if err != nil {
 		return
 	}
@@ -142,4 +158,7 @@ func (p *PingPong) onReply(now sim.Time, payload []byte, _ pkt.FlowKey) {
 	}
 	rtt := now + p.ClientRx - sentAt
 	p.Hist.Record(rtt / 2)
+	if p.OnSample != nil {
+		p.OnSample(seq, rtt/2)
+	}
 }
