@@ -8,10 +8,17 @@
 //	prismsim -exp fig9 -duration 2s -bg 250000 -seed 7
 //	prismsim -exp fig3 -cdf     # also dump CDF points for plotting
 //	prismsim -exp fig11 -parallel 4   # fan the sweep's points over 4 workers
+//	prismsim -exp stages -metrics-out m.prom -trace-out t.json
 //
 // -parallel N runs multi-point experiments (fig9, fig10, fig11, scaling,
 // and the sweeps) with up to N parameter points in flight, each on its own
 // engine (internal/par). Results are bit-identical for every N.
+//
+// -metrics-out and -trace-out run the instrumented stages experiment (or
+// accompany -exp stages) and export its observability data: metrics as a
+// JSON snapshot (path ending in .json) or Prometheus text exposition
+// (any other extension), and the span streams as Chrome trace-event JSON
+// loadable in Perfetto / chrome://tracing.
 package main
 
 import (
@@ -21,13 +28,14 @@ import (
 	"time"
 
 	"prism/internal/experiments"
+	"prism/internal/obs"
 	"prism/internal/sim"
 	"prism/internal/stats"
 )
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: fig3|fig6|fig8|fig9|fig10|fig11|fig12|fig13|extdriver|batchsweep|scaling|all")
+		exp      = flag.String("exp", "all", "experiment: fig3|fig6|fig8|fig9|fig10|fig11|fig12|fig13|extdriver|batchsweep|scaling|stages|all")
 		seed     = flag.Uint64("seed", 42, "simulation seed")
 		duration = flag.Duration("duration", time.Second, "measured duration (virtual time)")
 		warmup   = flag.Duration("warmup", 100*time.Millisecond, "warmup (virtual time)")
@@ -37,8 +45,16 @@ func main() {
 		burst    = flag.Int("burst", 96, "background burst size (frames)")
 		cdf      = flag.Bool("cdf", false, "dump CDF points for CDF figures")
 		parallel = flag.Int("parallel", 1, "worker count for multi-point experiments (deterministic: results identical for any value)")
+
+		metricsOut = flag.String("metrics-out", "", "write the stages experiment's metrics here (.json = JSON snapshot, otherwise Prometheus text)")
+		traceOut   = flag.String("trace-out", "", "write the stages experiment's span streams here as Chrome trace-event JSON")
 	)
 	flag.Parse()
+
+	// Export flags imply the instrumented experiment.
+	if (*metricsOut != "" || *traceOut != "") && *exp == "all" {
+		*exp = "stages"
+	}
 
 	p := experiments.Default()
 	p.Seed = *seed
@@ -88,10 +104,60 @@ func main() {
 	run("extdriver", func() { fmt.Println(experiments.ExtDriver(p)) })
 	run("batchsweep", func() { fmt.Println(experiments.AblationBatch(p, nil)) })
 	run("scaling", func() { fmt.Println(experiments.Scaling(p, nil)) })
+	run("stages", func() {
+		r := experiments.Stages(p)
+		fmt.Println(r)
+		if *metricsOut != "" {
+			if err := writeMetrics(*metricsOut, r.MergedRegistry()); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("metrics written to %s\n", *metricsOut)
+		}
+		if *traceOut != "" {
+			if err := writeTrace(*traceOut, r.TraceProcesses()); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("trace written to %s (load in Perfetto / chrome://tracing)\n", *traceOut)
+		}
+	})
 
 	if !ok {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// writeMetrics exports a registry: JSON snapshot for .json paths,
+// Prometheus text exposition otherwise.
+func writeMetrics(path string, reg *obs.Registry) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if len(path) > 5 && path[len(path)-5:] == ".json" {
+		b, err := obs.MetricsJSON(reg)
+		if err != nil {
+			return err
+		}
+		_, err = f.Write(b)
+		return err
+	}
+	return obs.WritePrometheus(f, reg)
+}
+
+// writeTrace exports span streams as Chrome trace-event JSON.
+func writeTrace(path string, procs []obs.TraceProcess) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return obs.WriteChromeTrace(f, procs...)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
 }

@@ -7,9 +7,11 @@
 //
 //	prismtrace               # both engines, 9 iterations
 //	prismtrace -iters 20 -mode prism
+//	prismtrace -json         # machine-readable observations
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -19,23 +21,75 @@ import (
 	"prism/internal/trace"
 )
 
+// jsonObservation is the machine-readable form of one poll iteration;
+// times are integer nanoseconds of virtual time.
+type jsonObservation struct {
+	Iteration uint64   `json:"iteration"`
+	TimeNs    int64    `json:"time_ns"`
+	Device    string   `json:"device"`
+	PollList  []string `json:"poll_list"`
+}
+
+func toJSON(obs []napi.PollObservation) []jsonObservation {
+	out := make([]jsonObservation, len(obs))
+	for i, o := range obs {
+		out[i] = jsonObservation{
+			Iteration: o.Iteration,
+			TimeNs:    int64(o.Time),
+			Device:    o.Device,
+			PollList:  o.PollList,
+		}
+	}
+	return out
+}
+
 func main() {
 	var (
-		iters = flag.Int("iters", 9, "loop iterations to capture")
-		mode  = flag.String("mode", "both", "vanilla|prism|both")
+		iters  = flag.Int("iters", 9, "loop iterations to capture")
+		mode   = flag.String("mode", "both", "vanilla|prism|both")
+		asJSON = flag.Bool("json", false, "emit observations as JSON instead of tables")
 	)
 	flag.Parse()
 
 	p := experiments.Default()
 	res := experiments.Fig6(p)
 
-	show := func(title string, obs []napi.PollObservation) {
+	clip := func(obs []napi.PollObservation) []napi.PollObservation {
 		if len(obs) > *iters {
 			obs = obs[:*iters]
 		}
-		rec := &trace.Recorder{Observations: obs}
+		return obs
+	}
+	show := func(title string, obs []napi.PollObservation) {
+		rec := &trace.Recorder{Observations: clip(obs)}
 		fmt.Println(rec.Table(title))
 	}
+
+	if *asJSON {
+		out := map[string]any{}
+		switch *mode {
+		case "vanilla":
+			out["vanilla"] = toJSON(clip(res.Vanilla))
+		case "prism":
+			out["prism"] = toJSON(clip(res.Prism))
+		case "both":
+			out["vanilla"] = toJSON(clip(res.Vanilla))
+			out["prism"] = toJSON(clip(res.Prism))
+			out["vanilla_interleaved"] = res.VanillaInterleaved
+			out["prism_streamlined"] = res.PrismStreamlined
+		default:
+			fmt.Fprintf(os.Stderr, "unknown mode %q\n", *mode)
+			os.Exit(2)
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	switch *mode {
 	case "vanilla":
 		show("Vanilla NAPI (two poll lists, tail insertion)", res.Vanilla)

@@ -24,6 +24,7 @@ import (
 	"prism/internal/cpu"
 	"prism/internal/napi"
 	"prism/internal/netdev"
+	"prism/internal/obs"
 	"prism/internal/pkt"
 	"prism/internal/prio"
 	"prism/internal/sim"
@@ -52,6 +53,11 @@ type Engine struct {
 
 	// OnPoll, when set, is invoked once per device-poll iteration.
 	OnPoll func(napi.PollObservation)
+
+	// obs, when set, receives per-packet lifecycle spans and labeled
+	// metrics for every stage this engine polls (including PRISM-sync
+	// run-to-completion chains).
+	obs *obs.Pipeline
 }
 
 var _ netdev.Scheduler = (*Engine)(nil)
@@ -68,6 +74,9 @@ func (e *Engine) Stats() napi.Stats { return e.stats }
 
 // SetOnPoll installs the per-iteration trace hook.
 func (e *Engine) SetOnPoll(fn func(napi.PollObservation)) { e.OnPoll = fn }
+
+// SetObs installs the observability pipeline (nil disables collection).
+func (e *Engine) SetObs(p *obs.Pipeline) { e.obs = p }
 
 // Core returns the processing core this engine runs on.
 func (e *Engine) Core() *cpu.Core { return e.core }
@@ -204,21 +213,28 @@ func (e *Engine) pollDevice(dev *netdev.Device, start sim.Time) (int, sim.Time) 
 			t += e.costs.StageSwitch
 			e.lastStage = dev
 		}
+		hStart := t
 		res := dev.Handler.HandlePacket(t, skb)
 		t += res.Cost
 		skb.Stage++
 		count++
 		e.stats.Packets++
 		dev.Processed++
-		t = e.applyTransition(skb, res, t)
+		if e.obs != nil {
+			e.obs.Span(dev.Name, dev.Kind.StageName(), skb.ID, skb.Priority, hStart, t)
+		}
+		t = e.applyTransition(dev, skb, res, t)
 	}
 	return count, t - start
 }
 
 // applyTransition routes a processed packet according to its priority and
-// the current PRISM mode. It returns the updated batch cursor (PRISM-sync
-// accrues the remaining stages' costs inline).
-func (e *Engine) applyTransition(skb *pkt.SKB, res netdev.Result, t sim.Time) sim.Time {
+// the current PRISM mode. dev is the stage that just processed the packet
+// (drop attribution; PRISM-sync chains advance it hop by hop). It returns
+// the updated batch cursor (PRISM-sync accrues the remaining stages'
+// costs inline).
+func (e *Engine) applyTransition(dev *netdev.Device, skb *pkt.SKB, res netdev.Result, t sim.Time) sim.Time {
+	cur := dev
 	for {
 		switch res.Verdict {
 		case netdev.VerdictForward:
@@ -233,16 +249,24 @@ func (e *Engine) applyTransition(skb *pkt.SKB, res netdev.Result, t sim.Time) si
 						t += e.costs.StageSwitch
 						e.lastStage = next
 					}
+					hStart := t
 					res = next.Handler.HandlePacket(t, skb)
 					t += res.Cost
 					skb.Stage++
 					e.stats.Packets++
 					next.Processed++
+					if e.obs != nil {
+						e.obs.Span(next.Name, next.Kind.StageName(), skb.ID, skb.Priority, hStart, t)
+					}
+					cur = next
 					continue
 				}
 				// PRISM-batch: high-priority queue + head insertion.
 				if !next.HighQ.Enqueue(skb) {
 					e.stats.Dropped++
+					if e.obs != nil {
+						e.obs.Drop(t, next.Name, next.Kind.StageName(), skb.ID, skb.Priority)
+					}
 					return t
 				}
 				if next.InPollList {
@@ -255,6 +279,9 @@ func (e *Engine) applyTransition(skb *pkt.SKB, res netdev.Result, t sim.Time) si
 			}
 			if !next.LowQ.Enqueue(skb) {
 				e.stats.Dropped++
+				if e.obs != nil {
+					e.obs.Drop(t, next.Name, next.Kind.StageName(), skb.ID, skb.Priority)
+				}
 				return t
 			}
 			if !next.InPollList {
@@ -273,8 +300,14 @@ func (e *Engine) applyTransition(skb *pkt.SKB, res netdev.Result, t sim.Time) si
 			return t
 		case netdev.VerdictDrop:
 			e.stats.Dropped++
+			if e.obs != nil {
+				e.obs.Drop(t, cur.Name, cur.Kind.StageName(), skb.ID, skb.Priority)
+			}
 			return t
 		case netdev.VerdictAbsorbed:
+			if e.obs != nil {
+				e.obs.Absorbed(t, cur.Name, skb.ID, skb.Priority)
+			}
 			return t
 		default:
 			panic("core: handler returned invalid verdict")

@@ -5,6 +5,7 @@ import (
 
 	"prism/internal/cpu"
 	"prism/internal/nic"
+	"prism/internal/obs"
 	"prism/internal/overlay"
 	"prism/internal/par"
 	"prism/internal/prio"
@@ -48,6 +49,10 @@ type SplitRig struct {
 	ServerShard *par.Shard
 	Host        *overlay.Host
 	Client      *traffic.Client
+	// Pipe collects the server shard's spans and metrics; it is shard-local
+	// (only the server shard's goroutine touches it), so instrumentation
+	// stays deterministic for any worker count.
+	Pipe *obs.Pipeline
 
 	toServer *par.Link
 	toClient *par.Link
@@ -58,16 +63,18 @@ func NewSplitRig(p Params, mode prio.Mode) *SplitRig {
 	g := par.NewGroup()
 	cs := g.Add("client", sim.NewEngine(clientSeed(p.Seed)))
 	ss := g.Add("server", sim.NewEngine(p.Seed))
+	pipe := obs.NewPipeline("server")
 	host := overlay.NewHost(ss.Eng, overlay.Config{
 		Mode:       mode,
 		CStates:    cpu.C1,
 		AppCStates: cpu.C1,
 		NIC:        splitNICConfig(p),
+		Obs:        pipe,
 	})
 	client := traffic.NewClient(host)
 	r := &SplitRig{
 		Group: g, ClientShard: cs, ServerShard: ss,
-		Host: host, Client: client,
+		Host: host, Client: client, Pipe: pipe,
 	}
 	wire := host.Costs.WireLatency
 	r.toServer = g.Connect(cs, ss, wire, func(at sim.Time, payload any) {
@@ -157,6 +164,10 @@ type RSSSplitRig struct {
 	// shard q. They share the cost model and mode.
 	Hosts  []*overlay.Host
 	Client *traffic.Client
+	// Pipes[q] is queue q's shard-local observability pipeline; merge them
+	// in queue order (obs.MergeRegistries / obs.MergeEvents) to recover the
+	// aggregate view deterministically.
+	Pipes []*obs.Pipeline
 
 	toQueue  []*par.Link
 	toClient []*par.Link
@@ -172,15 +183,18 @@ func NewRSSSplitRig(p Params, mode prio.Mode, queues int) *RSSSplitRig {
 	r := &RSSSplitRig{Group: g, ClientShard: cs}
 	for q := 0; q < queues; q++ {
 		ss := g.Add(fmt.Sprintf("rxq%d", q), sim.NewEngine(p.Seed+uint64(q)*0x9e3779b9))
+		pipe := obs.NewPipeline(fmt.Sprintf("rxq%d", q))
 		host := overlay.NewHost(ss.Eng, overlay.Config{
 			Mode:       mode,
 			RxQueues:   1,
 			CStates:    cpu.C1,
 			AppCStates: cpu.C1,
 			NIC:        splitNICConfig(p),
+			Obs:        pipe,
 		})
 		r.QueueShards = append(r.QueueShards, ss)
 		r.Hosts = append(r.Hosts, host)
+		r.Pipes = append(r.Pipes, pipe)
 	}
 	// One logical client machine demuxes every queue's replies; the
 	// attach below is to the first host only for construction, the real

@@ -4,6 +4,7 @@ import (
 	"reflect"
 	"testing"
 
+	"prism/internal/obs"
 	"prism/internal/overlay"
 	"prism/internal/prio"
 	"prism/internal/sim"
@@ -67,32 +68,37 @@ type sample struct {
 }
 
 // splitObs is everything a wire-split run observes: the per-flow delivered
-// sequence (order included), the latency histogram's bucket counts, and
-// the endpoint counters.
+// sequence (order included), the latency histogram's bucket counts, the
+// endpoint counters, and the full observability state — the rendered
+// metrics exposition and the span stream.
 type splitObs struct {
 	Samples        []sample
 	CDF            []stats.CDFPoint
 	Sent, Received uint64
 	Util           float64
 	Windows        uint64
+	Metrics        string
+	Spans          []obs.Event
 }
 
 func runSplit(t *testing.T, workers int) splitObs {
 	t.Helper()
 	p := detParams()
 	r, pp, _ := splitWorkload(p, prio.ModeSync, p.BGRate)
-	var obs splitObs
+	var o splitObs
 	pp.OnSample = func(seq uint64, lat sim.Time) {
-		obs.Samples = append(obs.Samples, sample{seq, lat})
+		o.Samples = append(o.Samples, sample{seq, lat})
 	}
 	if err := r.Run(p, workers); err != nil {
 		t.Fatalf("split run (workers=%d): %v", workers, err)
 	}
-	obs.CDF = pp.Hist.CDF()
-	obs.Sent, obs.Received = pp.Sent, pp.Received
-	obs.Util = r.Host.ProcCore.Utilization(r.Host.Eng.Now())
-	obs.Windows = r.Group.Windows
-	return obs
+	o.CDF = pp.Hist.CDF()
+	o.Sent, o.Received = pp.Sent, pp.Received
+	o.Util = r.Host.ProcCore.Utilization(r.Host.Eng.Now())
+	o.Windows = r.Group.Windows
+	o.Metrics = obs.PrometheusText(r.Pipe.M)
+	o.Spans = r.Pipe.T.Events()
+	return o
 }
 
 // TestSplitRigDeterministicAcrossWorkers runs the wire-split two-shard
@@ -106,6 +112,9 @@ func TestSplitRigDeterministicAcrossWorkers(t *testing.T) {
 	}
 	if seq.Windows < 2 {
 		t.Fatalf("expected multiple synchronization windows, got %d", seq.Windows)
+	}
+	if seq.Metrics == "" || len(seq.Spans) == 0 {
+		t.Fatalf("observability state empty: metrics=%d bytes, spans=%d", len(seq.Metrics), len(seq.Spans))
 	}
 	for i := 1; i < len(seq.Samples); i++ {
 		if seq.Samples[i].Seq <= seq.Samples[i-1].Seq {
@@ -142,14 +151,17 @@ func TestSplitRigMatchesPaperOrdering(t *testing.T) {
 }
 
 // rssObs is one RSS-split run's observable state: per-queue delivered
-// sequences and the shard-local observations merged with the stats
-// helpers (the aggregate view a sequential single-host run reports
-// directly).
+// sequences, the shard-local observations merged with the stats helpers
+// (the aggregate view a sequential single-host run reports directly), and
+// the observability state merged with the obs helpers — the rendered
+// exposition of the merged registry and the merged span stream.
 type rssObs struct {
 	Samples   [][]sample
 	MergedCDF []stats.CDFPoint
 	AggCount  uint64
 	AggKpps   float64
+	Metrics   string
+	Spans     []obs.Event
 }
 
 // steeredSrc probes client source ports until the flow (src → ctr:port)
@@ -172,7 +184,7 @@ func runRSSSplit(t *testing.T, workers int) rssObs {
 	const queues = 2
 	r := NewRSSSplitRig(p, prio.ModeSync, queues)
 
-	obs := rssObs{Samples: make([][]sample, queues)}
+	o := rssObs{Samples: make([][]sample, queues)}
 	pps := make([]*traffic.PingPong, queues)
 	counters := make([]*stats.RateCounter, queues)
 	for q := 0; q < queues; q++ {
@@ -187,7 +199,7 @@ func runRSSSplit(t *testing.T, workers int) rssObs {
 		pp.Inject = r.InjectFn(q)
 		qq := q
 		pp.OnSample = func(seq uint64, lat sim.Time) {
-			obs.Samples[qq] = append(obs.Samples[qq], sample{seq, lat})
+			o.Samples[qq] = append(o.Samples[qq], sample{seq, lat})
 		}
 		mustNoErr(pp.InstallEcho(p.EchoCost))
 		pp.Start(r.Client, 0)
@@ -213,16 +225,19 @@ func runRSSSplit(t *testing.T, workers int) rssObs {
 	}
 
 	// Shard-local observations fold into the aggregate view via the merge
-	// helpers: histograms by bucket, rate counters by count + window union.
+	// helpers: histograms by bucket, rate counters by count + window union,
+	// metric registries by label set, span streams by (time, stream, seq).
 	merged := stats.MergeHistograms(pps[0].Hist, pps[1].Hist)
-	obs.MergedCDF = merged.CDF()
+	o.MergedCDF = merged.CDF()
 	agg := stats.NewRateCounter("agg")
 	for _, c := range counters {
 		agg.Merge(c)
 	}
-	obs.AggCount = agg.Count()
-	obs.AggKpps = agg.Kpps(r.Hosts[0].Eng.Now())
-	return obs
+	o.AggCount = agg.Count()
+	o.AggKpps = agg.Kpps(r.Hosts[0].Eng.Now())
+	o.Metrics = obs.PrometheusText(obs.MergeRegistries(r.Pipes[0].M, r.Pipes[1].M))
+	o.Spans = obs.MergeEvents(r.Pipes[0].T.Events(), r.Pipes[1].T.Events())
+	return o
 }
 
 // TestRSSSplitDeterministicAcrossWorkers is the RSS half of the ISSUE's
@@ -238,6 +253,9 @@ func TestRSSSplitDeterministicAcrossWorkers(t *testing.T) {
 	}
 	if seq.AggCount == 0 {
 		t.Fatal("no background deliveries recorded")
+	}
+	if seq.Metrics == "" || len(seq.Spans) == 0 {
+		t.Fatalf("observability state empty: metrics=%d bytes, spans=%d", len(seq.Metrics), len(seq.Spans))
 	}
 	for _, w := range []int{2, 4} {
 		got := runRSSSplit(t, w)

@@ -8,6 +8,7 @@ package experiments
 import (
 	"prism/internal/cpu"
 	"prism/internal/nic"
+	"prism/internal/obs"
 	"prism/internal/overlay"
 	"prism/internal/prio"
 	"prism/internal/sim"
@@ -102,7 +103,11 @@ type Rig struct {
 // NewRig builds the standard testbed for a mode: the paper's server
 // machine with C1-pinned cores and a ConnectX-5-like NIC (adaptive
 // interrupt moderation, GRO on).
-func NewRig(p Params, mode prio.Mode) *Rig {
+func NewRig(p Params, mode prio.Mode) *Rig { return NewRigObs(p, mode, nil) }
+
+// NewRigObs is NewRig with an observability pipeline instrumenting the
+// host's whole receive path (nil behaves exactly like NewRig).
+func NewRigObs(p Params, mode prio.Mode, pipe *obs.Pipeline) *Rig {
 	eng := sim.NewEngine(p.Seed)
 	host := overlay.NewHost(eng, overlay.Config{
 		Mode:       mode,
@@ -115,6 +120,7 @@ func NewRig(p Params, mode prio.Mode) *Rig {
 			GRO:           true,
 			PriorityRings: p.DriverPrio,
 		},
+		Obs: pipe,
 	})
 	return &Rig{Eng: eng, Host: host, Client: traffic.NewClient(host)}
 }

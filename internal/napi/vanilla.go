@@ -14,6 +14,7 @@ package napi
 import (
 	"prism/internal/cpu"
 	"prism/internal/netdev"
+	"prism/internal/obs"
 	"prism/internal/pkt"
 	"prism/internal/sim"
 )
@@ -61,6 +62,10 @@ type Engine struct {
 
 	// OnPoll, when set, is invoked once per device-poll iteration.
 	OnPoll func(PollObservation)
+
+	// obs, when set, receives per-packet lifecycle spans and labeled
+	// metrics for every stage this engine polls.
+	obs *obs.Pipeline
 }
 
 var _ netdev.Scheduler = (*Engine)(nil)
@@ -75,6 +80,9 @@ func (e *Engine) Stats() Stats { return e.stats }
 
 // SetOnPoll installs the per-iteration trace hook.
 func (e *Engine) SetOnPoll(fn func(PollObservation)) { e.OnPoll = fn }
+
+// SetObs installs the observability pipeline (nil disables collection).
+func (e *Engine) SetObs(p *obs.Pipeline) { e.obs = p }
 
 // Core returns the processing core this engine runs on.
 func (e *Engine) Core() *cpu.Core { return e.core }
@@ -204,26 +212,34 @@ func (e *Engine) pollDevice(dev *netdev.Device, start sim.Time) (int, sim.Time) 
 			t += e.costs.StageSwitch
 			e.lastStage = dev
 		}
+		hStart := t
 		res := dev.Handler.HandlePacket(t, skb)
 		t += res.Cost
 		skb.Stage++
 		count++
 		e.stats.Packets++
 		dev.Processed++
-		e.applyTransition(skb, res, t)
+		if e.obs != nil {
+			e.obs.Span(dev.Name, dev.Kind.StageName(), skb.ID, skb.Priority, hStart, t)
+		}
+		e.applyTransition(dev, skb, res, t)
 	}
 	return count, t - start
 }
 
 // applyTransition routes a processed packet: enqueue to the next stage
 // (scheduling that device), deliver to the application at the packet's
-// completion time, or drop.
-func (e *Engine) applyTransition(skb *pkt.SKB, res netdev.Result, done sim.Time) {
+// completion time, or drop. dev is the stage that just processed the
+// packet, for drop attribution.
+func (e *Engine) applyTransition(dev *netdev.Device, skb *pkt.SKB, res netdev.Result, done sim.Time) {
 	switch res.Verdict {
 	case netdev.VerdictForward:
 		next := res.Next
 		if !next.LowQ.Enqueue(skb) {
 			e.stats.Dropped++
+			if e.obs != nil {
+				e.obs.Drop(done, next.Name, next.Kind.StageName(), skb.ID, skb.Priority)
+			}
 			return
 		}
 		// napi_schedule from softirq context: append to the global list.
@@ -240,8 +256,14 @@ func (e *Engine) applyTransition(skb *pkt.SKB, res netdev.Result, done sim.Time)
 		}
 	case netdev.VerdictDrop:
 		e.stats.Dropped++
+		if e.obs != nil {
+			e.obs.Drop(done, dev.Name, dev.Kind.StageName(), skb.ID, skb.Priority)
+		}
 	case netdev.VerdictAbsorbed:
 		// GRO merged the frame into an earlier SKB; nothing to route.
+		if e.obs != nil {
+			e.obs.Absorbed(done, dev.Name, skb.ID, skb.Priority)
+		}
 	default:
 		panic("napi: handler returned invalid verdict")
 	}

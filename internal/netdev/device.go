@@ -33,6 +33,23 @@ func (k DriverKind) String() string {
 	}
 }
 
+// StageName maps the driver kind to the canonical pipeline-stage label
+// used by the observability subsystem (the values of internal/obs's
+// PipelineStages). It is defined here, as plain strings, so obs can stay
+// import-free of netdev while every engine labels spans consistently.
+func (k DriverKind) StageName() string {
+	switch k {
+	case DriverNIC:
+		return "nic"
+	case DriverGroCells:
+		return "bridge"
+	case DriverBacklog:
+		return "veth"
+	default:
+		return k.String()
+	}
+}
+
 // Verdict says what happens to a packet after a stage processes it.
 type Verdict int
 

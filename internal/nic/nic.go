@@ -13,6 +13,7 @@ package nic
 
 import (
 	"prism/internal/netdev"
+	"prism/internal/obs"
 	"prism/internal/pkt"
 	"prism/internal/prio"
 	"prism/internal/sim"
@@ -58,6 +59,11 @@ type Config struct {
 	// Only PRISM engines exploit it; under vanilla all frames still go to
 	// the single FIFO ring.
 	PriorityRings bool
+	// FirstID is the base value for this NIC's SKB IDs. Topologies with
+	// several RX queues give each queue's NIC a distinct base so packet
+	// identities stay unique host-wide — the observability pipeline keys
+	// per-packet lifecycle state by SKB ID.
+	FirstID uint64
 }
 
 // NIC is the physical interface: a netdev.Device plus the DMA/IRQ front
@@ -92,6 +98,9 @@ type NIC struct {
 
 	nextID uint64
 
+	// obs, when set, records frame DMA and interrupt instants.
+	obs *obs.Pipeline
+
 	// Counters.
 	DMAd   uint64
 	IRQs   uint64
@@ -112,6 +121,7 @@ func New(eng *sim.Engine, sched netdev.Scheduler, costs *netdev.Costs, db *prio.
 		db:          db,
 		hostSockets: hostSockets,
 		lastIRQ:     -sim.Second, // the first packet ever interrupts at once
+		nextID:      cfg.FirstID,
 	}
 	n.Dev = netdev.NewDevice(cfg.Name, netdev.DriverNIC, netdev.HandlerFunc(n.handle), cfg.RingSize)
 	return n
@@ -120,6 +130,9 @@ func New(eng *sim.Engine, sched netdev.Scheduler, costs *netdev.Costs, db *prio.
 // AttachBridge wires the overlay path: decapsulated frames are forwarded
 // to the bridge device.
 func (n *NIC) AttachBridge(br *netdev.Device) { n.bridge = br }
+
+// SetObs installs the observability pipeline (nil disables collection).
+func (n *NIC) SetObs(p *obs.Pipeline) { n.obs = p }
 
 // DMA places a received frame into the RX ring at time now (the link layer
 // calls this) and drives interrupt moderation.
@@ -148,9 +161,16 @@ func (n *NIC) DMA(now sim.Time, frame []byte) {
 		enqueued = n.Dev.LowQ.Enqueue(skb)
 	}
 	if !enqueued {
-		return // ring overrun; drop counted by the queue
+		// Ring overrun; drop counted by the queue.
+		if n.obs != nil {
+			n.obs.Drop(now, n.Dev.Name, obs.StageDMA, skb.ID, skb.Priority)
+		}
+		return
 	}
 	n.DMAd++
+	if n.obs != nil {
+		n.obs.DMA(now, n.Dev.Name, skb.ID, skb.Priority)
+	}
 	if highRing && !n.Dev.InPollList {
 		// High-ring packets interrupt immediately, bypassing moderation.
 		n.fireHighIRQ()
@@ -202,6 +222,9 @@ func (n *NIC) fireHighIRQ() {
 	n.pendingIRQ = 0
 	n.IRQs++
 	n.lastIRQ = n.eng.Now()
+	if n.obs != nil {
+		n.obs.IRQ(n.lastIRQ, n.Dev.Name)
+	}
 	n.sched.NotifyArrival(n.Dev, true)
 }
 
@@ -217,6 +240,9 @@ func (n *NIC) fireIRQ() {
 	}
 	n.IRQs++
 	n.lastIRQ = n.eng.Now()
+	if n.obs != nil {
+		n.obs.IRQ(n.lastIRQ, n.Dev.Name)
+	}
 	n.sched.NotifyArrival(n.Dev, false)
 }
 

@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+
+	"prism/internal/stats"
+)
+
+// StageStat is one row of the per-stage latency decomposition: how long
+// packets queued before a stage (Wait) and how long the stage's handler
+// ran per packet (Service). It is the simulator's equivalent of the
+// paper's Fig. 4/5 breakdown of where receive latency accumulates.
+type StageStat struct {
+	Stage   string
+	Packets uint64
+	Wait    stats.Summary
+	Service stats.Summary
+}
+
+// StageBreakdown aggregates a registry's per-stage wait/service
+// histograms across devices, priorities and shards into one row per
+// pipeline stage, in pipeline order. Stages with no observations are
+// omitted. Aggregation is histogram merging (per-bucket addition), so
+// the result is deterministic and shard-count invariant.
+func StageBreakdown(r *Registry) []StageStat { return StageBreakdownFilter(r, Labels{}) }
+
+// StageBreakdownFilter is StageBreakdown restricted to histograms whose
+// labels match the non-zero fields of filter — e.g. Labels{Priority: 1}
+// decomposes only the high-priority flow's latency, the view the paper's
+// Fig. 4/5 actually plots.
+func StageBreakdownFilter(r *Registry, filter Labels) []StageStat {
+	waits := make(map[string]*stats.Histogram)
+	services := make(map[string]*stats.Histogram)
+	r.EachHistogram(func(name string, l Labels, h *HistogramMetric) {
+		if !matches(l, filter) {
+			return
+		}
+		var dst map[string]*stats.Histogram
+		switch name {
+		case "prism_stage_wait_ns":
+			dst = waits
+		case "prism_stage_service_ns":
+			dst = services
+		default:
+			return
+		}
+		agg, ok := dst[l.Stage]
+		if !ok {
+			agg = stats.NewHistogram()
+			dst[l.Stage] = agg
+		}
+		agg.Merge(h.Hist())
+	})
+	var rows []StageStat
+	for _, stage := range PipelineStages {
+		w, s := waits[stage], services[stage]
+		if w == nil && s == nil {
+			continue
+		}
+		row := StageStat{Stage: stage}
+		if s != nil {
+			row.Service = s.Summarize()
+			row.Packets = s.Count()
+		}
+		if w != nil {
+			row.Wait = w.Summarize()
+			if row.Packets == 0 {
+				row.Packets = w.Count()
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// E2ESummary returns the registry's end-to-end (ring→socket) latency
+// summary, aggregated across priorities and shards.
+func E2ESummary(r *Registry) stats.Summary { return E2ESummaryFilter(r, Labels{}) }
+
+// E2ESummaryFilter is E2ESummary restricted to matching label sets.
+func E2ESummaryFilter(r *Registry, filter Labels) stats.Summary {
+	agg := stats.NewHistogram()
+	r.EachHistogram(func(name string, l Labels, h *HistogramMetric) {
+		if name == "prism_e2e_latency_ns" && matches(l, filter) {
+			agg.Merge(h.Hist())
+		}
+	})
+	return agg.Summarize()
+}
+
+// FormatBreakdown renders breakdown rows as the Fig. 4/5-style table:
+//
+//	stage    packets   wait µs (mean/p50/p99)   service µs (mean/p50/p99)
+func FormatBreakdown(title string, rows []StageStat) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "%-8s %10s %12s %12s %12s %12s %12s %12s\n",
+		"stage", "packets",
+		"wait-mean", "wait-p50", "wait-p99",
+		"svc-mean", "svc-p50", "svc-p99")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-8s %10d %11.2fµ %11.2fµ %11.2fµ %11.2fµ %11.2fµ %11.2fµ\n",
+			r.Stage, r.Packets,
+			r.Wait.Mean.Micros(), r.Wait.P50.Micros(), r.Wait.P99.Micros(),
+			r.Service.Mean.Micros(), r.Service.P50.Micros(), r.Service.P99.Micros())
+	}
+	return b.String()
+}

@@ -1,0 +1,299 @@
+// Package obs is the simulator's observability subsystem: per-packet
+// lifecycle spans and a labeled metrics registry, with exporters to the
+// formats real tooling consumes (Prometheus text exposition, JSON
+// snapshots, Chrome trace-event JSON loadable in Perfetto).
+//
+// It is the in-simulator equivalent of the instrumentation the paper's
+// evaluation rests on — the eBPF poll-order tables of Fig. 6, the
+// per-stage latency decompositions behind Figs. 4–5, and the CPU-usage
+// accounting of Figs. 10–13 — generalized so every layer of the receive
+// pipeline (DMA ring → IRQ → NAPI poll → bridge forward → VXLAN decap →
+// veth poll → socket deliver) reports into one place.
+//
+// # Collection model
+//
+// A Pipeline bundles one Tracer (bounded span stream) and one Registry
+// (labeled counters/gauges/histograms) for one collection domain — a
+// single engine instance: one host, one shard, or one mode run. All
+// instrumentation points (internal/nic, internal/napi, internal/core,
+// internal/bridge, internal/veth, internal/socket) hold an optional
+// *Pipeline and are zero-cost when it is nil.
+//
+// # Determinism under sharding
+//
+// Collection is strictly shard-local: a Pipeline is only ever touched by
+// the single goroutine running its engine, so no synchronization exists
+// on the hot path. Aggregation happens after the run via Registry.Merge
+// and MergeEvents, both deterministic: counter merge is addition,
+// histogram merge is per-bucket addition (both order-independent), and
+// event-stream merge sorts by the stable key (time, stream index,
+// per-stream sequence). The parallel determinism regressions in
+// internal/experiments assert metrics and span streams are bit-identical
+// across 1/2/4 workers.
+package obs
+
+import (
+	"sort"
+
+	"prism/internal/sim"
+)
+
+// Canonical stage names, in pipeline order. They are the values of the
+// "stage" metric label and the span names in trace exports.
+const (
+	StageDMA    = "dma"    // frame DMA'd into the RX descriptor ring
+	StageIRQ    = "irq"    // hardware interrupt raised (device-level)
+	StageNIC    = "nic"    // stage-1 driver poll, incl. VXLAN decap
+	StageBridge = "bridge" // stage-2 bridge FDB forward
+	StageVeth   = "veth"   // stage-3 backlog/veth poll
+	StageSocket = "socket" // payload copied into the socket buffer
+	StageGRO    = "gro"    // frame absorbed into a GRO super-SKB
+	StageDrop   = "drop"   // packet discarded
+)
+
+// PipelineStages lists the span-producing stages of the overlay receive
+// path in order, for breakdown reports.
+var PipelineStages = []string{StageNIC, StageBridge, StageVeth, StageSocket}
+
+// NoPacket marks device-level events (IRQs) that have no packet identity.
+const NoPacket = ^uint64(0)
+
+// EventKind distinguishes point events from intervals.
+type EventKind uint8
+
+// Event kinds.
+const (
+	KindInstant EventKind = iota + 1
+	KindSpan
+)
+
+// Event is one lifecycle observation: an instant (DMA, IRQ, deliver,
+// drop) or a span (a stage processing a packet). Instants have
+// Start == End.
+type Event struct {
+	// Seq is the per-tracer sequence number; MergeEvents uses it to break
+	// equal-time ties within one stream.
+	Seq      uint64
+	Kind     EventKind
+	Stage    string
+	Device   string
+	Pkt      uint64 // NoPacket for device-level events
+	Priority int
+	Start    sim.Time
+	End      sim.Time
+}
+
+// Time returns the event's representative timestamp (span start).
+func (e Event) Time() sim.Time { return e.Start }
+
+// Duration returns the span length (zero for instants).
+func (e Event) Duration() sim.Time { return e.End - e.Start }
+
+// Pipeline is the per-engine-instance observability bundle: a Tracer for
+// the span stream and a Registry for metrics, plus the per-packet cursor
+// that turns lifecycle events into stage wait/service decompositions.
+type Pipeline struct {
+	// Shard labels every metric this pipeline records; it identifies the
+	// collection domain (RSS shard, mode run) in merged exports.
+	Shard string
+
+	T *Tracer
+	M *Registry
+
+	// lastAt tracks, per in-flight packet, when its previous lifecycle
+	// event completed; the gap to the next stage's start is that stage's
+	// queue wait. Entries are removed at deliver/drop/absorb, so the map
+	// is bounded by the number of packets in flight (itself bounded by
+	// the device queue capacities).
+	lastAt map[uint64]sim.Time
+}
+
+// NewPipeline returns a pipeline labeled with the given shard name, with
+// a default-capacity tracer and an empty registry.
+func NewPipeline(shard string) *Pipeline {
+	return &Pipeline{
+		Shard:  shard,
+		T:      NewTracer(0),
+		M:      NewRegistry(),
+		lastAt: make(map[uint64]sim.Time),
+	}
+}
+
+// DMA records a frame entering the RX descriptor ring. It opens the
+// packet's lifecycle: the gap to the first stage span is the ring wait.
+func (p *Pipeline) DMA(now sim.Time, dev string, pkt uint64, prio int) {
+	p.T.add(Event{Kind: KindInstant, Stage: StageDMA, Device: dev, Pkt: pkt, Priority: prio, Start: now, End: now})
+	p.M.Counter("prism_dma_frames_total", Labels{Device: dev, Stage: StageDMA, Shard: p.Shard}).Add(1)
+	p.lastAt[pkt] = now
+}
+
+// IRQ records a hardware interrupt raised by a device.
+func (p *Pipeline) IRQ(now sim.Time, dev string) {
+	p.T.add(Event{Kind: KindInstant, Stage: StageIRQ, Device: dev, Pkt: NoPacket, Start: now, End: now})
+	p.M.Counter("prism_irqs_total", Labels{Device: dev, Stage: StageIRQ, Shard: p.Shard}).Add(1)
+}
+
+// Span records one stage processing one packet over [start, end]. The
+// wait histogram receives the gap since the packet's previous lifecycle
+// event (its time queued before this stage); the service histogram
+// receives the span length.
+func (p *Pipeline) Span(dev, stage string, pkt uint64, prio int, start, end sim.Time) {
+	p.T.add(Event{Kind: KindSpan, Stage: stage, Device: dev, Pkt: pkt, Priority: prio, Start: start, End: end})
+	l := Labels{Device: dev, Stage: stage, Priority: prio, Shard: p.Shard}
+	p.M.Counter("prism_stage_packets_total", l).Add(1)
+	p.M.Histogram("prism_stage_service_ns", l).Observe(end - start)
+	if last, ok := p.lastAt[pkt]; ok {
+		p.M.Histogram("prism_stage_wait_ns", l).Observe(start - last)
+	}
+	p.lastAt[pkt] = end
+}
+
+// Deliver records the payload reaching a socket buffer at time now, and
+// closes the packet's lifecycle. arrived is the packet's NIC-ring entry
+// time; the difference feeds the end-to-end latency histogram.
+func (p *Pipeline) Deliver(now sim.Time, dev string, pkt uint64, prio int, arrived sim.Time) {
+	p.T.add(Event{Kind: KindInstant, Stage: StageSocket, Device: dev, Pkt: pkt, Priority: prio, Start: now, End: now})
+	l := Labels{Device: dev, Stage: StageSocket, Priority: prio, Shard: p.Shard}
+	p.M.Counter("prism_delivered_total", l).Add(1)
+	if last, ok := p.lastAt[pkt]; ok {
+		p.M.Histogram("prism_stage_wait_ns", l).Observe(now - last)
+	}
+	p.M.Histogram("prism_e2e_latency_ns", Labels{Priority: prio, Shard: p.Shard}).Observe(now - arrived)
+	delete(p.lastAt, pkt)
+}
+
+// Drop records a packet discarded at a stage (handler verdict, queue
+// overrun, rcvbuf overflow) and closes its lifecycle.
+func (p *Pipeline) Drop(now sim.Time, dev, stage string, pkt uint64, prio int) {
+	p.T.add(Event{Kind: KindInstant, Stage: StageDrop, Device: dev, Pkt: pkt, Priority: prio, Start: now, End: now})
+	p.M.Counter("prism_dropped_total", Labels{Device: dev, Stage: stage, Priority: prio, Shard: p.Shard}).Add(1)
+	delete(p.lastAt, pkt)
+}
+
+// Absorbed records a frame merged into an earlier SKB by GRO; the frame's
+// own lifecycle ends here (the super-SKB carries on).
+func (p *Pipeline) Absorbed(now sim.Time, dev string, pkt uint64, prio int) {
+	p.T.add(Event{Kind: KindInstant, Stage: StageGRO, Device: dev, Pkt: pkt, Priority: prio, Start: now, End: now})
+	p.M.Counter("prism_gro_absorbed_total", Labels{Device: dev, Stage: StageGRO, Shard: p.Shard}).Add(1)
+	delete(p.lastAt, pkt)
+}
+
+// InFlight reports how many packets have an open lifecycle (diagnostic).
+func (p *Pipeline) InFlight() int { return len(p.lastAt) }
+
+// DefaultTracerCap bounds the span ring buffer: 64 Ki events is a few MB
+// and several full softirq bursts of context.
+const DefaultTracerCap = 1 << 16
+
+// Tracer accumulates lifecycle events into a bounded ring buffer with
+// optional per-packet sampling. Memory is bounded by construction: once
+// the ring is full, new events overwrite the oldest (the overwrite count
+// is kept, so exporters can report truncation instead of silently
+// pretending full coverage).
+type Tracer struct {
+	capacity int
+	// sampleEvery, when > 1, keeps only packets whose ID ≡ 0 (mod N);
+	// device-level events are always kept. Aggregate metrics are not
+	// affected — sampling bounds only the span stream.
+	sampleEvery uint64
+
+	events []Event
+	head   int // ring start when full
+	seq    uint64
+
+	// Overwritten counts events displaced from the full ring; SampledOut
+	// counts events skipped by the sampling filter.
+	Overwritten uint64
+	SampledOut  uint64
+}
+
+// NewTracer returns a tracer with the given ring capacity (<= 0 uses
+// DefaultTracerCap).
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTracerCap
+	}
+	return &Tracer{capacity: capacity}
+}
+
+// SetSampling keeps only every n-th packet's events (by packet ID).
+// n <= 1 disables sampling.
+func (t *Tracer) SetSampling(n int) {
+	if n <= 1 {
+		t.sampleEvery = 0
+		return
+	}
+	t.sampleEvery = uint64(n)
+}
+
+func (t *Tracer) add(ev Event) {
+	if t == nil {
+		return
+	}
+	if t.sampleEvery > 1 && ev.Pkt != NoPacket && ev.Pkt%t.sampleEvery != 0 {
+		t.SampledOut++
+		return
+	}
+	ev.Seq = t.seq
+	t.seq++
+	if len(t.events) < t.capacity {
+		t.events = append(t.events, ev)
+		return
+	}
+	t.events[t.head] = ev
+	t.head = (t.head + 1) % t.capacity
+	t.Overwritten++
+}
+
+// Len returns the number of buffered events.
+func (t *Tracer) Len() int { return len(t.events) }
+
+// Total returns how many events were ever recorded (including ones since
+// overwritten, excluding sampled-out ones).
+func (t *Tracer) Total() uint64 { return t.seq }
+
+// Events returns the buffered events in recording order.
+func (t *Tracer) Events() []Event {
+	out := make([]Event, 0, len(t.events))
+	out = append(out, t.events[t.head:]...)
+	out = append(out, t.events[:t.head]...)
+	return out
+}
+
+// MergeEvents folds shard-local event streams into one, ordered by
+// (time, stream index, per-stream sequence). Pass streams in shard ID
+// order; the stream index breaks cross-shard timestamp ties the same way
+// every run, so the merged stream is deterministic regardless of worker
+// count — the same discipline as trace.Merge and stats.MergeHistograms.
+//
+// A full sort (not a k-way merge) is required: within one engine, spans
+// of a poll batch are emitted with start times ahead of the simulation
+// clock (the core ledger runs ahead), while IRQ/DMA instants land at the
+// current clock, so a single stream is not internally time-sorted.
+func MergeEvents(streams ...[]Event) []Event {
+	type keyed struct {
+		ev     Event
+		stream int
+	}
+	var all []keyed
+	for si, s := range streams {
+		for _, ev := range s {
+			all = append(all, keyed{ev: ev, stream: si})
+		}
+	}
+	sort.SliceStable(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.ev.Start != b.ev.Start {
+			return a.ev.Start < b.ev.Start
+		}
+		if a.stream != b.stream {
+			return a.stream < b.stream
+		}
+		return a.ev.Seq < b.ev.Seq
+	})
+	out := make([]Event, len(all))
+	for i, k := range all {
+		out[i] = k.ev
+	}
+	return out
+}

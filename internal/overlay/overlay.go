@@ -20,6 +20,7 @@ import (
 	"prism/internal/napi"
 	"prism/internal/netdev"
 	"prism/internal/nic"
+	"prism/internal/obs"
 	"prism/internal/pkt"
 	"prism/internal/prio"
 	"prism/internal/sched"
@@ -47,6 +48,7 @@ type RxEngine interface {
 	Stats() napi.Stats
 	Core() *cpu.Core
 	SetOnPoll(func(napi.PollObservation))
+	SetObs(*obs.Pipeline)
 }
 
 // Config parameterizes the server host.
@@ -71,6 +73,12 @@ type Config struct {
 	NIC nic.Config
 	// AppCStates configures application cores (usually same as CStates).
 	AppCStates []cpu.CState
+
+	// Obs, when set, instruments the whole receive path of this host —
+	// NIC DMA/IRQ instants, per-stage spans in both engines, socket
+	// deliveries — into one observability pipeline. One pipeline per host
+	// keeps collection shard-local in parallel topologies.
+	Obs *obs.Pipeline
 }
 
 // Container is one Docker-style container on the overlay network.
@@ -161,6 +169,7 @@ func NewHost(eng *sim.Engine, cfg Config) *Host {
 	h.cfg = cfg
 
 	h.HostSockets = socket.NewTable("host")
+	h.HostSockets.Obs = cfg.Obs
 	h.HostThread = sched.NewThread("host-app", eng, cpu.NewCore(h.allocCore(), cfg.AppCStates), cfg.Costs.AppWakeup)
 
 	for q := 0; q < cfg.RxQueues; q++ {
@@ -172,6 +181,7 @@ func NewHost(eng *sim.Engine, cfg Config) *Host {
 		default:
 			rx = core.NewEngine(eng, coreQ, cfg.Costs, h.DB)
 		}
+		rx.SetObs(cfg.Obs)
 
 		nicCfg := cfg.NIC
 		nicCfg.Name = fmt.Sprintf("eth0-rxq%d", q)
@@ -179,12 +189,17 @@ func NewHost(eng *sim.Engine, cfg Config) *Host {
 			nicCfg.Name = "eth0"
 		}
 		nicCfg.HostIP = ServerIP
+		// Each queue's SKB IDs live in a distinct range so packet
+		// identities are unique host-wide (the obs pipeline keys
+		// per-packet state by ID).
+		nicCfg.FirstID = uint64(q) << 48
 		if cfg.Mode == prio.ModeVanilla {
 			// Vanilla NAPI has a single input queue per device and cannot
 			// use a priority ring even if the hardware offers one.
 			nicCfg.PriorityRings = false
 		}
 		n := nic.New(eng, rx, cfg.Costs, h.DB, h.HostSockets, nicCfg)
+		n.SetObs(cfg.Obs)
 
 		brName, veName := "br0", "veth0"
 		if cfg.RxQueues > 1 {
@@ -231,6 +246,7 @@ func (h *Host) AddContainer(name string) *Container {
 		host: h,
 	}
 	c.Sockets = socket.NewTable(name)
+	c.Sockets.Obs = h.cfg.Obs
 	c.Core = cpu.NewCore(h.allocCore(), h.cfg.AppCStates)
 	c.Thread = sched.NewThread(name+"-app", h.Eng, c.Core, h.Costs.AppWakeup)
 	for q := range h.Backlogs {

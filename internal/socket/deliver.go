@@ -2,6 +2,7 @@ package socket
 
 import (
 	"prism/internal/netdev"
+	"prism/internal/obs"
 	"prism/internal/pkt"
 	"prism/internal/sim"
 )
@@ -30,12 +31,23 @@ func DeliverToTable(tbl *Table, cost sim.Time, skb *pkt.SKB) netdev.Result {
 		Arrived:      skb.Arrived,
 		HighPriority: skb.HighPriority,
 	}
+	// Capture the packet identity now: the SKB is the softirq's and may be
+	// reused by the time the deferred copy runs.
+	id, prio := skb.ID, skb.Priority
 	return netdev.Result{
 		Verdict: netdev.VerdictDeliver,
 		Cost:    cost,
 		Deliver: func(at sim.Time) {
 			msg.Delivered = at
-			sock.Deliver(at, msg)
+			ok := sock.Deliver(at, msg)
+			if tbl.Obs == nil {
+				return
+			}
+			if ok {
+				tbl.Obs.Deliver(at, tbl.Name, id, prio, msg.Arrived)
+			} else {
+				tbl.Obs.Drop(at, tbl.Name, obs.StageSocket, id, prio)
+			}
 		},
 	}
 }

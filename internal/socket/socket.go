@@ -6,6 +6,7 @@ package socket
 import (
 	"fmt"
 
+	"prism/internal/obs"
 	"prism/internal/pkt"
 	"prism/internal/sched"
 	"prism/internal/sim"
@@ -78,6 +79,10 @@ type bindKey struct {
 type Table struct {
 	Name  string
 	socks map[bindKey]*Socket
+
+	// Obs, when set, records socket deliveries (closing each packet's
+	// lifecycle span stream) and rcvbuf-overflow drops.
+	Obs *obs.Pipeline
 }
 
 // NewTable returns an empty socket table.

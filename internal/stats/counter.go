@@ -30,10 +30,14 @@ func (c *RateCounter) Start(now sim.Time) {
 	c.last = now
 }
 
-// Add records n events carrying total b bytes at virtual time now.
+// Add records n events carrying total b bytes at virtual time now. If
+// Start was never called, the measurement window implicitly starts at
+// the first observation's timestamp — not at time zero — so rates over a
+// counter that was never explicitly started reflect the observed span,
+// not the full simulation.
 func (c *RateCounter) Add(now sim.Time, n int, b int) {
 	if !c.started {
-		c.Start(0)
+		c.Start(now)
 	}
 	c.count += uint64(n)
 	c.bytes += uint64(b)

@@ -98,6 +98,10 @@ func (h *Histogram) Record(v sim.Time) {
 // Count returns the number of recorded observations.
 func (h *Histogram) Count() uint64 { return h.count }
 
+// Sum returns the exact sum of recorded values in nanoseconds; exporters
+// (Prometheus summaries) need it alongside Count.
+func (h *Histogram) Sum() float64 { return h.sum }
+
 // Min returns the smallest recorded value, or 0 if empty.
 func (h *Histogram) Min() sim.Time {
 	if h.count == 0 {

@@ -215,10 +215,34 @@ func TestRateCounter(t *testing.T) {
 }
 
 func TestRateCounterAutoStart(t *testing.T) {
+	// Add before Start opens the window at the first observation's
+	// timestamp, not at time zero: 5 events at t=1s then 5 at t=2s is
+	// 10 events over a 1s window.
 	c := NewRateCounter("x")
 	c.Add(sim.Second, 5, 0)
-	if got := c.PerSecond(sim.Second); math.Abs(got-5) > 0.01 {
-		t.Errorf("PerSecond = %v, want 5", got)
+	c.Add(2*sim.Second, 5, 0)
+	if got := c.PerSecond(2 * sim.Second); math.Abs(got-10) > 0.01 {
+		t.Errorf("PerSecond = %v, want 10 (window starts at first Add)", got)
+	}
+}
+
+func TestRateCounterNonMonotonic(t *testing.T) {
+	// Merged shard streams can replay observations out of timestamp order.
+	// Every event still counts, the window's start stays at the first
+	// observation, and its end never regresses below the latest time seen.
+	c := NewRateCounter("x")
+	c.Add(2*sim.Second, 1, 0)
+	c.Add(sim.Second, 1, 0) // out of order: must not move the window
+	c.Add(3*sim.Second, 1, 0)
+	if c.Count() != 3 {
+		t.Fatalf("Count = %d, want 3", c.Count())
+	}
+	// Window is [2s, 3s]: 3 events over 1s.
+	if got := c.PerSecond(3 * sim.Second); math.Abs(got-3) > 0.01 {
+		t.Errorf("PerSecond = %v, want 3", got)
+	}
+	if v := c.PerSecond(2 * sim.Second); math.IsInf(v, 0) || math.IsNaN(v) {
+		t.Errorf("PerSecond with stale now = %v", v)
 	}
 }
 

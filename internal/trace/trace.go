@@ -74,16 +74,17 @@ func (r *Recorder) DeviceOrder() []string {
 	return out
 }
 
-// Table renders the observations as the paper's Fig. 6 table:
+// Table renders the observations as the paper's Fig. 6 table, with the
+// virtual time of each iteration alongside:
 //
-//	Iter.  Device  Poll list
-//	1      eth     [br eth]
+//	Iter.  Time(µs)  Device  Poll list
+//	1      12.40     eth     [br eth]
 func (r *Recorder) Table(title string) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%s\n", title)
-	fmt.Fprintf(&b, "%-6s %-8s %s\n", "Iter.", "Device", "Poll list")
+	fmt.Fprintf(&b, "%-6s %-9s %-8s %s\n", "Iter.", "Time(µs)", "Device", "Poll list")
 	for i, o := range r.Observations {
-		fmt.Fprintf(&b, "%-6d %-8s [%s]\n", i+1, o.Device, strings.Join(o.PollList, " "))
+		fmt.Fprintf(&b, "%-6d %-9.2f %-8s [%s]\n", i+1, o.Time.Micros(), o.Device, strings.Join(o.PollList, " "))
 	}
 	return b.String()
 }

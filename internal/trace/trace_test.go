@@ -105,6 +105,37 @@ func TestMergeOrdersByTimeShardIteration(t *testing.T) {
 	}
 }
 
+func TestMergeWithLimitedRecorders(t *testing.T) {
+	// Limits apply at record time, per shard: Merge combines whatever each
+	// recorder kept, and the merged recorder itself is unbounded.
+	a := &Recorder{Limit: 2}
+	for i, at := range []int64{10, 20, 30, 40} {
+		a.Hook(timedObs(at, uint64(i+1), "a"))
+	}
+	b := &Recorder{Limit: 1}
+	for i, at := range []int64{5, 15, 25} {
+		b.Hook(timedObs(at, uint64(i+1), "b"))
+	}
+	m := Merge(a, b)
+	got := m.DeviceOrder()
+	want := []string{"b", "a", "a"} // t=5, 10, 20 — the kept prefixes
+	if len(got) != len(want) {
+		t.Fatalf("merged order = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("merged order = %v, want %v", got, want)
+		}
+	}
+	if m.Limit != 0 {
+		t.Errorf("merged recorder inherited Limit %d, want unbounded", m.Limit)
+	}
+	m.Hook(timedObs(50, 9, "c"))
+	if len(m.Observations) != 4 {
+		t.Errorf("merged recorder did not accept further observations: %d", len(m.Observations))
+	}
+}
+
 func TestMergeNilAndEmpty(t *testing.T) {
 	if got := Merge(nil, &Recorder{}); len(got.Observations) != 0 {
 		t.Errorf("merge of empties has %d observations", len(got.Observations))
