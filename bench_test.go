@@ -222,6 +222,44 @@ func BenchmarkAblationRawPipeline(b *testing.B) {
 	}
 }
 
+// BenchmarkSoftirqPoll measures the unified softirq runtime's poll loop
+// under a saturating flood of prioritized traffic, one sub-benchmark per
+// registered poll policy — vanilla and prism exercise the paper's two
+// engines through the shared runtime; headonly and dualq the ablations.
+// The per-op cost is the runtime+policy overhead of simulating ~1ms of
+// saturated receive; pkts_per_sec is the simulator's processing rate.
+func BenchmarkSoftirqPoll(b *testing.B) {
+	variants := []struct {
+		name, policy string
+		mode         prism.Mode
+	}{
+		{"vanilla", "vanilla", prism.ModeVanilla},
+		{"prism-batch", "prism", prism.ModeBatch},
+		{"prism-sync", "prism", prism.ModeSync},
+		{"headonly", "headonly", prism.ModeBatch},
+		{"dualq", "dualq", prism.ModeBatch},
+	}
+	for _, v := range variants {
+		v := v
+		b.Run(v.name, func(b *testing.B) {
+			sim := prism.NewSimulation(prism.WithMode(v.mode),
+				prism.WithPolicy(v.policy), prism.WithSeed(3))
+			srv := sim.AddContainer("sink")
+			sim.MarkHighPriority(srv.IP, 11111)
+			fl := sim.NewBackgroundFlood(srv, 11111, 600_000)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sim.Run(1_000_000) // 1ms of virtual time per iteration
+			}
+			b.StopTimer()
+			if fl.Delivered() == 0 {
+				b.Fatal("poll loop delivered nothing")
+			}
+			record(b, float64(fl.Delivered())/float64(b.N), nil)
+		})
+	}
+}
+
 // BenchmarkAblationGRO compares TCP background cost with and without GRO.
 func BenchmarkAblationGRO(b *testing.B) {
 	for _, gro := range []bool{true, false} {

@@ -60,9 +60,22 @@ func main() {
 	flag.Var(&acts, "at", "virtual time, then (in the next -at) the command")
 	total := flag.Duration("total", 3*time.Second, "total virtual run time")
 	pcapPath := flag.String("pcap", "", "write all wire traffic to this pcap file (opens in Wireshark)")
+	policy := flag.String("policy", "", "softirq poll policy override (vanilla|prism|headonly|dualq); default derives from the mode")
 	flag.Parse()
 
-	sim := prism.NewSimulation(prism.WithMode(prism.ModeBatch))
+	opts := []prism.Option{prism.WithMode(prism.ModeBatch)}
+	if *policy != "" {
+		known := false
+		for _, name := range prism.Policies() {
+			known = known || name == *policy
+		}
+		if !known {
+			fmt.Fprintf(os.Stderr, "unknown policy %q (have %v)\n", *policy, prism.Policies())
+			os.Exit(2)
+		}
+		opts = append(opts, prism.WithPolicy(*policy))
+	}
+	sim := prism.NewSimulation(opts...)
 	if *pcapPath != "" {
 		f, err := os.Create(*pcapPath)
 		if err != nil {

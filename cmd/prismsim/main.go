@@ -9,6 +9,8 @@
 //	prismsim -exp fig3 -cdf     # also dump CDF points for plotting
 //	prismsim -exp fig11 -parallel 4   # fan the sweep's points over 4 workers
 //	prismsim -exp stages -metrics-out m.prom -trace-out t.json
+//	prismsim -exp policies            # softirq poll-policy ablation ladder
+//	prismsim -exp policies -policy headonly   # one policy variant only
 //
 // -parallel N runs multi-point experiments (fig9, fig10, fig11, scaling,
 // and the sweeps) with up to N parameter points in flight, each on its own
@@ -35,7 +37,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: fig3|fig6|fig8|fig9|fig10|fig11|fig12|fig13|extdriver|batchsweep|scaling|stages|all")
+		exp      = flag.String("exp", "all", "experiment: fig3|fig6|fig8|fig9|fig10|fig11|fig12|fig13|extdriver|batchsweep|scaling|stages|policies|all")
 		seed     = flag.Uint64("seed", 42, "simulation seed")
 		duration = flag.Duration("duration", time.Second, "measured duration (virtual time)")
 		warmup   = flag.Duration("warmup", 100*time.Millisecond, "warmup (virtual time)")
@@ -44,6 +46,7 @@ func main() {
 		load     = flag.Float64("load", 270_000, "fig8 latency load (pps)")
 		burst    = flag.Int("burst", 96, "background burst size (frames)")
 		cdf      = flag.Bool("cdf", false, "dump CDF points for CDF figures")
+		policy   = flag.String("policy", "all", "softirq poll policy for -exp policies: vanilla|dualq|headonly|prism|all")
 		parallel = flag.Int("parallel", 1, "worker count for multi-point experiments (deterministic: results identical for any value)")
 
 		metricsOut = flag.String("metrics-out", "", "write the stages experiment's metrics here (.json = JSON snapshot, otherwise Prometheus text)")
@@ -102,6 +105,16 @@ func main() {
 	run("fig12", func() { fmt.Println(experiments.Fig12(p)) })
 	run("fig13", func() { fmt.Println(experiments.Fig13(p)) })
 	run("extdriver", func() { fmt.Println(experiments.ExtDriver(p)) })
+	run("policies", func() {
+		r := experiments.Policies(p, experiments.PolicyByName(*policy))
+		fmt.Println(r)
+		if *cdf {
+			for _, row := range r.Rows {
+				fmt.Printf("%s busy CDF (µs, fraction):\n", row.Variant.Label())
+				fmt.Print(stats.FormatCDF(row.BusyCDF))
+			}
+		}
+	})
 	run("batchsweep", func() { fmt.Println(experiments.AblationBatch(p, nil)) })
 	run("scaling", func() { fmt.Println(experiments.Scaling(p, nil)) })
 	run("stages", func() {

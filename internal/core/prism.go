@@ -1,7 +1,8 @@
-// Package core implements PRISM, the paper's primary contribution: a
-// priority-aware, streamlined NAPI receive engine (Fig. 7 pseudocode).
+// Package core implements PRISM, the paper's primary contribution: the
+// priority-aware, streamlined poll policy (Fig. 7 pseudocode) over the
+// unified softirq runtime (internal/softirq).
 //
-// Differences from the vanilla engine (internal/napi):
+// Differences from the vanilla policy (internal/napi):
 //
 //   - A single per-CPU poll list. There is no global→local move, so no
 //     synchronization delay, and devices can be inserted at the *head*.
@@ -18,315 +19,258 @@
 // is allocated during the stage-1 poll, so differentiation begins at the
 // first stage *transition* — which is why PRISM helps multi-stage overlay
 // pipelines but not the single-stage host path (Fig. 10).
+//
+// The package also registers the paper's two ablation policies, each one
+// PRISM mechanism in isolation:
+//
+//   - "headonly": head insertion without dual queues — high-priority
+//     transitions move the next device to the poll-list head, but packets
+//     still share the single FIFO input queue with background traffic.
+//   - "dualq": dual queues without head insertion — high-priority packets
+//     get their own queue (served first within a device poll), but the
+//     poll list stays strictly tail-ordered, so no batch-level preemption.
 package core
 
 import (
 	"prism/internal/cpu"
-	"prism/internal/napi"
 	"prism/internal/netdev"
-	"prism/internal/obs"
 	"prism/internal/pkt"
 	"prism/internal/prio"
 	"prism/internal/sim"
+	"prism/internal/softirq"
 )
 
-// Engine is the PRISM per-CPU receive engine.
-type Engine struct {
-	eng   *sim.Engine
-	core  *cpu.Core
-	costs *netdev.Costs
-	db    *prio.DB
+// Registry names of the policies this package provides.
+const (
+	PolicyName     = "prism"    // full PRISM (batch/sync via the DB's runtime mode)
+	PolicyHeadOnly = "headonly" // head insertion only
+	PolicyDualQ    = "dualq"    // dual queues only
+)
 
-	list []*netdev.Device // the single per-CPU poll list
-
-	pending   bool
-	running   bool
-	processed int
-
-	// lastStage tracks which device's code last ran on this core, for the
-	// I-cache stage-switch penalty (Costs.StageSwitch). PRISM-sync chains
-	// switch stages on every packet, which is where their throughput cost
-	// comes from.
-	lastStage *netdev.Device
-
-	stats napi.Stats
-
-	// OnPoll, when set, is invoked once per device-poll iteration.
-	OnPoll func(napi.PollObservation)
-
-	// obs, when set, receives per-packet lifecycle spans and labeled
-	// metrics for every stage this engine polls (including PRISM-sync
-	// run-to-completion chains).
-	obs *obs.Pipeline
+func init() {
+	softirq.Register(PolicyName, func(db *prio.DB) softirq.PollPolicy { return NewPolicy(db) })
+	softirq.Register(PolicyHeadOnly, func(*prio.DB) softirq.PollPolicy { return &HeadOnlyPolicy{} })
+	softirq.Register(PolicyDualQ, func(*prio.DB) softirq.PollPolicy { return &DualQueuePolicy{} })
 }
 
-var _ netdev.Scheduler = (*Engine)(nil)
+// Engine is the unified runtime's engine type (see internal/softirq); the
+// alias keeps this package the natural import for PRISM users.
+type Engine = softirq.Engine
 
-// NewEngine returns a PRISM engine bound to a core. The prio.DB supplies
-// both the flow classification (used by stage-1 handlers) and the runtime
-// mode switch between PRISM-batch and PRISM-sync.
+// NewEngine returns a receive engine running the full PRISM policy on a
+// core. The prio.DB supplies both the flow classification (used by
+// stage-1 handlers) and the runtime mode switch between PRISM-batch and
+// PRISM-sync.
 func NewEngine(eng *sim.Engine, core *cpu.Core, costs *netdev.Costs, db *prio.DB) *Engine {
-	return &Engine{eng: eng, core: core, costs: costs, db: db}
+	return softirq.New(eng, core, costs, NewPolicy(db))
 }
 
-// Stats returns a copy of the engine counters.
-func (e *Engine) Stats() napi.Stats { return e.stats }
-
-// SetOnPoll installs the per-iteration trace hook.
-func (e *Engine) SetOnPoll(fn func(napi.PollObservation)) { e.OnPoll = fn }
-
-// SetObs installs the observability pipeline (nil disables collection).
-func (e *Engine) SetObs(p *obs.Pipeline) { e.obs = p }
-
-// Core returns the processing core this engine runs on.
-func (e *Engine) Core() *cpu.Core { return e.core }
-
-// NotifyArrival implements netdev.Scheduler for the hardware-IRQ path.
-// The NIC cannot see packet priority (stage-1 limitation), so arriving
-// devices are appended to the tail.
-func (e *Engine) NotifyArrival(dev *netdev.Device, high bool) {
-	if dev.InPollList {
-		return
-	}
-	dev.InPollList = true
-	now := e.eng.Now()
-	start := e.core.Acquire(now)
-	e.core.Consume(start, e.costs.IRQ)
-	if high {
-		e.insertHead(dev)
-	} else {
-		e.list = append(e.list, dev)
-	}
-	if !e.running && !e.pending {
-		e.pending = true
-		e.eng.At(e.core.BusyUntil(), e.runSoftirq)
-	}
+// pollList is the single per-CPU poll list shared by the PRISM-family
+// policies: pop from the head, insert at head or tail.
+type pollList struct {
+	list []*netdev.Device
 }
 
-func (e *Engine) insertHead(dev *netdev.Device) {
-	e.list = append(e.list, nil)
-	copy(e.list[1:], e.list)
-	e.list[0] = dev
+func (l *pollList) insertHead(dev *netdev.Device) {
+	l.list = append(l.list, nil)
+	copy(l.list[1:], l.list)
+	l.list[0] = dev
 }
 
-// moveToHead moves an already-listed device to the head.
-func (e *Engine) moveToHead(dev *netdev.Device) {
-	for i, d := range e.list {
+func (l *pollList) insertTail(dev *netdev.Device) {
+	l.list = append(l.list, dev)
+}
+
+// moveToHead moves an already-listed device to the head. A device marked
+// in-list but absent is being polled right now (the poll loop will
+// requeue it); nothing to move.
+func (l *pollList) moveToHead(dev *netdev.Device) {
+	for i, d := range l.list {
 		if d == dev {
-			copy(e.list[1:i+1], e.list[:i])
-			e.list[0] = dev
+			copy(l.list[1:i+1], l.list[:i])
+			l.list[0] = dev
 			return
 		}
 	}
-	// Device marked in-list but being polled right now (it will be
-	// re-enqueued by the poll loop); nothing to move.
 }
 
-// reraise schedules another softirq run after the yield delay.
-func (e *Engine) reraise(now sim.Time) {
-	if e.running || e.pending {
-		return
+// Begin is a no-op: there is no list synchronization step, which is what
+// enables batch-level preemption (Fig. 7 lines 6–20).
+func (l *pollList) Begin() {}
+
+// Next pops the list head.
+func (l *pollList) Next() *netdev.Device {
+	if len(l.list) == 0 {
+		return nil
 	}
-	e.pending = true
-	e.eng.At(now+e.costs.SoftirqRestart, e.runSoftirq)
+	dev := l.list[0]
+	l.list = l.list[1:]
+	return dev
 }
 
-// runSoftirq is PRISM's net_rx_action (Fig. 7 lines 6–20). There is no
-// list synchronization step: devices are popped straight off the single
-// per-CPU list, which is what enables batch-level preemption.
-func (e *Engine) runSoftirq() {
-	e.pending = false
-	e.running = true
-	e.stats.SoftirqRuns++
-	e.processed = 0
-	e.pollNext()
+// Finish reports whether the softirq must be re-raised.
+func (l *pollList) Finish() bool { return len(l.list) > 0 }
+
+// Snapshot renders the single list in poll order.
+func (l *pollList) Snapshot() []string {
+	list := make([]string, 0, len(l.list))
+	for _, d := range l.list {
+		list = append(list, d.Name)
+	}
+	return list
 }
 
-func (e *Engine) pollNext() {
-	now := e.eng.Now()
-	if len(e.list) == 0 || e.processed >= e.costs.Budget {
-		e.finish(now)
-		return
+// Schedule places a transition-scheduled device at the head or tail.
+func (l *pollList) Schedule(dev *netdev.Device, head bool) {
+	if head {
+		l.insertHead(dev)
+	} else {
+		l.insertTail(dev)
 	}
-	dev := e.list[0]
-	e.list = e.list[1:]
+}
 
-	start := e.core.BusyUntil()
-	if start < now {
-		start = e.core.Acquire(now)
+// Promote implements head promotion for already-listed devices.
+func (l *pollList) Promote(dev *netdev.Device) { l.moveToHead(dev) }
+
+// Policy is the full PRISM scheduling policy.
+type Policy struct {
+	pollList
+	db *prio.DB
+}
+
+var _ softirq.PollPolicy = (*Policy)(nil)
+
+// NewPolicy returns a fresh per-CPU PRISM policy.
+func NewPolicy(db *prio.DB) *Policy { return &Policy{db: db} }
+
+// Arrive handles the hardware-IRQ path. The NIC cannot see packet
+// priority (stage-1 limitation), so arriving devices are appended to the
+// tail — unless the driver has priority rings (§VII-1) and flags the IRQ
+// high, in which case the device head-inserts.
+func (p *Policy) Arrive(dev *netdev.Device, high bool) {
+	if high {
+		p.insertHead(dev)
+	} else {
+		p.insertTail(dev)
 	}
-	n, total := e.pollDevice(dev, start)
-	end := e.core.Consume(start, total)
-	e.processed += n
-	e.stats.Iterations++
+}
 
-	// Fig. 7 lines 13–16: devices with pending high-priority packets go
-	// back to the head; devices with only low-priority packets to the tail.
+// Requeue is Fig. 7 lines 13–16: devices with pending high-priority
+// packets go back to the head; devices with only low-priority packets to
+// the tail.
+func (p *Policy) Requeue(dev *netdev.Device) {
 	switch {
 	case !dev.HighQ.Empty():
-		e.insertHead(dev)
+		p.insertHead(dev)
 	case !dev.LowQ.Empty():
-		e.list = append(e.list, dev)
+		p.insertTail(dev)
 	default:
 		dev.InPollList = false
 	}
-	e.observe(now, dev)
-	e.eng.At(end, e.pollNext)
 }
 
-func (e *Engine) finish(now sim.Time) {
-	e.running = false
-	if len(e.list) > 0 {
-		e.reraise(now)
-	}
-}
-
-// pollDevice is PRISM's napi_poll (Fig. 7 lines 22–38): serve one batch
-// exclusively from the high-priority queue if it has packets, otherwise
-// from the low-priority queue.
-func (e *Engine) pollDevice(dev *netdev.Device, start sim.Time) (int, sim.Time) {
-	// Both queue flavours expose the dequeue surface; the high-priority
-	// queue additionally orders by level (§VII-3).
-	var q interface {
-		Dequeue() *pkt.SKB
-		Empty() bool
-	} = dev.LowQ
+// SelectQueue is Fig. 7 lines 22–38: serve one batch exclusively from the
+// high-priority queue if it has packets, otherwise from the low queue.
+// The high queue additionally orders by level (§VII-3).
+func (p *Policy) SelectQueue(dev *netdev.Device) softirq.Queue {
 	if !dev.HighQ.Empty() {
-		q = dev.HighQ
+		return dev.HighQ
 	}
-	if q.Empty() {
-		return 0, 0
-	}
-	dev.Polls++
-	t := start + e.costs.BatchOverhead
-	count := 0
-	for count < e.costs.BatchSize {
-		skb := q.Dequeue()
-		if skb == nil {
-			break
-		}
-		// I-cache stage switch: once per batch ordinarily, but after a
-		// PRISM-sync run-to-completion chain the previous packet ended in
-		// the last stage's code, so every packet pays it again — the
-		// batching loss of §III-B1.
-		if e.lastStage != dev {
-			t += e.costs.StageSwitch
-			e.lastStage = dev
-		}
-		hStart := t
-		res := dev.Handler.HandlePacket(t, skb)
-		t += res.Cost
-		skb.Stage++
-		count++
-		e.stats.Packets++
-		dev.Processed++
-		if e.obs != nil {
-			e.obs.Span(dev.Name, dev.Kind.StageName(), skb.ID, skb.Priority, hStart, t)
-		}
-		t = e.applyTransition(dev, skb, res, t)
-	}
-	return count, t - start
+	return dev.LowQ
 }
 
-// applyTransition routes a processed packet according to its priority and
-// the current PRISM mode. dev is the stage that just processed the packet
-// (drop attribution; PRISM-sync chains advance it hop by hop). It returns
-// the updated batch cursor (PRISM-sync accrues the remaining stages'
-// costs inline).
-func (e *Engine) applyTransition(dev *netdev.Device, skb *pkt.SKB, res netdev.Result, t sim.Time) sim.Time {
-	cur := dev
-	for {
-		switch res.Verdict {
-		case netdev.VerdictForward:
-			next := res.Next
-			if skb.HighPriority {
-				if e.db.Mode() == prio.ModeSync {
-					// Run-to-completion: call the next stage's processing
-					// directly in this context (netif_receive_skb instead
-					// of netif_rx), bypassing its queue entirely. Every
-					// hop changes the instruction-cache working set.
-					if e.lastStage != next {
-						t += e.costs.StageSwitch
-						e.lastStage = next
-					}
-					hStart := t
-					res = next.Handler.HandlePacket(t, skb)
-					t += res.Cost
-					skb.Stage++
-					e.stats.Packets++
-					next.Processed++
-					if e.obs != nil {
-						e.obs.Span(next.Name, next.Kind.StageName(), skb.ID, skb.Priority, hStart, t)
-					}
-					cur = next
-					continue
-				}
-				// PRISM-batch: high-priority queue + head insertion.
-				if !next.HighQ.Enqueue(skb) {
-					e.stats.Dropped++
-					if e.obs != nil {
-						e.obs.Drop(t, next.Name, next.Kind.StageName(), skb.ID, skb.Priority)
-					}
-					return t
-				}
-				if next.InPollList {
-					e.moveToHead(next)
-				} else {
-					next.InPollList = true
-					e.insertHead(next)
-				}
-				return t
-			}
-			if !next.LowQ.Enqueue(skb) {
-				e.stats.Dropped++
-				if e.obs != nil {
-					e.obs.Drop(t, next.Name, next.Kind.StageName(), skb.ID, skb.Priority)
-				}
-				return t
-			}
-			if !next.InPollList {
-				next.InPollList = true
-				e.list = append(e.list, next)
-			}
-			return t
-		case netdev.VerdictDeliver:
-			skb.Delivered = t
-			e.stats.Delivered++
-			if res.Deliver != nil {
-				deliver := res.Deliver
-				done := t
-				e.eng.At(done, func() { deliver(done) })
-			}
-			return t
-		case netdev.VerdictDrop:
-			e.stats.Dropped++
-			if e.obs != nil {
-				e.obs.Drop(t, cur.Name, cur.Kind.StageName(), skb.ID, skb.Priority)
-			}
-			return t
-		case netdev.VerdictAbsorbed:
-			if e.obs != nil {
-				e.obs.Absorbed(t, cur.Name, skb.ID, skb.Priority)
-			}
-			return t
-		default:
-			panic("core: handler returned invalid verdict")
-		}
+// Route sends high-priority packets through the priority path — inline
+// run-to-completion under PRISM-sync, high queue + head insertion under
+// PRISM-batch — and everything else to the next stage's low queue.
+func (p *Policy) Route(skb *pkt.SKB) softirq.Route {
+	if !skb.HighPriority {
+		return softirq.Route{}
+	}
+	if p.db.Mode() == prio.ModeSync {
+		return softirq.Route{Sync: true}
+	}
+	return softirq.Route{High: true, Head: true}
+}
+
+// HeadOnlyPolicy is the head-insertion ablation: PRISM's poll-list
+// reordering without its dual queues. High-priority transitions pull the
+// next stage to the poll-list head, but the packet itself still waits in
+// the shared FIFO behind any batch already queued there — isolating how
+// much of PRISM's win comes from ordering alone.
+type HeadOnlyPolicy struct {
+	pollList
+}
+
+var _ softirq.PollPolicy = (*HeadOnlyPolicy)(nil)
+
+// Arrive honours a driver priority hint with head insertion, like PRISM.
+func (p *HeadOnlyPolicy) Arrive(dev *netdev.Device, high bool) {
+	if high {
+		p.insertHead(dev)
+	} else {
+		p.insertTail(dev)
 	}
 }
 
-func (e *Engine) observe(now sim.Time, dev *netdev.Device) {
-	if e.OnPoll == nil {
-		return
+// Requeue re-inserts at the tail: with one FIFO per device the policy
+// cannot tell whether the remaining packets are high-priority.
+func (p *HeadOnlyPolicy) Requeue(dev *netdev.Device) {
+	if dev.HasPackets() {
+		p.insertTail(dev)
+	} else {
+		dev.InPollList = false
 	}
-	list := make([]string, 0, len(e.list))
-	for _, d := range e.list {
-		list = append(list, d.Name)
+}
+
+// SelectQueue serves the single shared queue.
+func (p *HeadOnlyPolicy) SelectQueue(dev *netdev.Device) softirq.Queue { return dev.LowQ }
+
+// Route head-inserts the next stage for high-priority packets but keeps
+// them in the low queue.
+func (p *HeadOnlyPolicy) Route(skb *pkt.SKB) softirq.Route {
+	if skb.HighPriority {
+		return softirq.Route{Head: true}
 	}
-	e.OnPoll(napi.PollObservation{
-		Time:      now,
-		Iteration: e.stats.Iterations,
-		Device:    dev.Name,
-		PollList:  list,
-	})
+	return softirq.Route{}
+}
+
+// DualQueuePolicy is the dual-queue ablation: PRISM's per-device priority
+// queues without its poll-list reordering. A high-priority packet skips
+// the background backlog *within* each device (the high queue is served
+// first), but the device itself still waits its strict tail-order turn —
+// isolating how much of PRISM's win comes from queue separation alone.
+type DualQueuePolicy struct {
+	pollList
+}
+
+var _ softirq.PollPolicy = (*DualQueuePolicy)(nil)
+
+// Arrive appends at the tail; without head insertion a priority hint
+// cannot reorder the list.
+func (p *DualQueuePolicy) Arrive(dev *netdev.Device, _ bool) { p.insertTail(dev) }
+
+// Requeue re-inserts at the tail regardless of which queue has packets.
+func (p *DualQueuePolicy) Requeue(dev *netdev.Device) {
+	if dev.HasPackets() {
+		p.insertTail(dev)
+	} else {
+		dev.InPollList = false
+	}
+}
+
+// SelectQueue serves the high queue first, like PRISM.
+func (p *DualQueuePolicy) SelectQueue(dev *netdev.Device) softirq.Queue {
+	if !dev.HighQ.Empty() {
+		return dev.HighQ
+	}
+	return dev.LowQ
+}
+
+// Route sends high-priority packets to the next stage's high queue with
+// tail scheduling.
+func (p *DualQueuePolicy) Route(skb *pkt.SKB) softirq.Route {
+	if skb.HighPriority {
+		return softirq.Route{High: true}
+	}
+	return softirq.Route{}
 }

@@ -52,7 +52,7 @@ func AblationBatch(p Params, sizes []int) AblationBatchResult {
 }
 
 func batchLatency(p Params, batch int) sim.Time {
-	r := rigWithBatch(p, batch)
+	r := NewRig(p, prio.ModeVanilla, WithBatchSize(batch))
 	hi := r.Host.AddContainer("hi-srv")
 	pp := traffic.NewPingPong(r.Eng, r.Host, hi, clientSrc(0), PortHighPrio, p.HighRate)
 	pp.Warmup = p.Warmup
@@ -71,7 +71,7 @@ func batchLatency(p Params, batch int) sim.Time {
 }
 
 func batchThroughput(p Params, batch int) float64 {
-	r := rigWithBatch(p, batch)
+	r := NewRig(p, prio.ModeVanilla, WithBatchSize(batch))
 	ctr := r.Host.AddContainer("srv")
 	fl := traffic.NewUDPFlood(r.Eng, r.Host, ctr, clientSrc(1), PortBackgrnd, 900_000)
 	mustNoErr(fl.InstallSink(p.SinkCost))
@@ -79,12 +79,6 @@ func batchThroughput(p Params, batch int) float64 {
 	fl.Start(0)
 	mustNoErr(r.Run(p))
 	return fl.Delivered.Kpps(r.Eng.Now())
-}
-
-func rigWithBatch(p Params, batch int) *Rig {
-	r := NewRig(p, prio.ModeVanilla)
-	r.Host.Costs.BatchSize = batch
-	return r
 }
 
 // String renders the sweep.

@@ -51,11 +51,12 @@ func Fig3(p Params) Fig3Result {
 // latencyUnderLoad is the shared Fig. 3/9/10 rig: a 1 kpps high-priority
 // ping-pong flow to one container, optionally competing with a bgRate
 // background flood to a second container, all processed on one core.
-// overlayPath selects container overlay vs host network.
+// overlayPath selects container overlay vs host network; opts tweak the
+// testbed (e.g. WithPolicy for the poll-policy ablation).
 // It returns the latency histogram, the ping-pong flow, and the measured
 // processing-core utilization.
-func latencyUnderLoad(p Params, mode prio.Mode, bgRate float64, overlayPath bool) (*stats.Histogram, *traffic.PingPong, float64) {
-	r := NewRig(p, mode)
+func latencyUnderLoad(p Params, mode prio.Mode, bgRate float64, overlayPath bool, opts ...RigOption) (*stats.Histogram, *traffic.PingPong, float64) {
+	r := NewRig(p, mode, opts...)
 
 	var pp *traffic.PingPong
 	if overlayPath {

@@ -1,133 +1,44 @@
 package experiments
 
 import (
-	"fmt"
-
-	"prism/internal/cpu"
-	"prism/internal/nic"
-	"prism/internal/obs"
-	"prism/internal/overlay"
-	"prism/internal/par"
 	"prism/internal/prio"
-	"prism/internal/sim"
 	"prism/internal/stats"
+	"prism/internal/testbed"
 	"prism/internal/traffic"
 )
 
-// This file holds the topology-level parallel integrations: the
-// two-machine testbed split at the wire, and the RSS receive path split
-// per RX queue. Both run on the conservative shard runtime (internal/par)
-// and are deterministic for any worker count — the lookahead comes from
-// physical delays the sequential model already charges (wire propagation
-// for the link split, and again wire propagation for the fan-out to
-// per-queue shards, since RSS steering is decided before the frame ever
-// touches a CPU).
-
-// splitNICConfig is the standard experiment NIC (same as NewRig).
-func splitNICConfig(p Params) nic.Config {
-	return nic.Config{
-		RxUsecs:       8 * sim.Microsecond,
-		RxFrames:      32,
-		AdaptiveIdle:  100 * sim.Microsecond,
-		GRO:           true,
-		PriorityRings: p.DriverPrio,
-	}
-}
-
-// clientSeed derives the client shard's RNG stream from the experiment
-// seed; it only needs to be deterministic and distinct from the server's.
-func clientSeed(seed uint64) uint64 { return seed ^ 0xc11e47 }
-
-// SplitRig is the paper's two-machine testbed split at the wire: the
-// client machine (traffic generators, reply demux, latency recording)
-// runs on one shard, the fully simulated server on another, and the
-// 100 GbE point-to-point link becomes a pair of cross-shard channels
-// whose lookahead is the wire's propagation delay.
-type SplitRig struct {
-	Group       *par.Group
-	ClientShard *par.Shard
-	ServerShard *par.Shard
-	Host        *overlay.Host
-	Client      *traffic.Client
-	// Pipe collects the server shard's spans and metrics; it is shard-local
-	// (only the server shard's goroutine touches it), so instrumentation
-	// stays deterministic for any worker count.
-	Pipe *obs.Pipeline
-
-	toServer *par.Link
-	toClient *par.Link
-}
-
-// NewSplitRig builds the wire-split testbed for a mode, mirroring NewRig.
-func NewSplitRig(p Params, mode prio.Mode) *SplitRig {
-	g := par.NewGroup()
-	cs := g.Add("client", sim.NewEngine(clientSeed(p.Seed)))
-	ss := g.Add("server", sim.NewEngine(p.Seed))
-	pipe := obs.NewPipeline("server")
-	host := overlay.NewHost(ss.Eng, overlay.Config{
-		Mode:       mode,
-		CStates:    cpu.C1,
-		AppCStates: cpu.C1,
-		NIC:        splitNICConfig(p),
-		Obs:        pipe,
-	})
-	client := traffic.NewClient(host)
-	r := &SplitRig{
-		Group: g, ClientShard: cs, ServerShard: ss,
-		Host: host, Client: client, Pipe: pipe,
-	}
-	wire := host.Costs.WireLatency
-	r.toServer = g.Connect(cs, ss, wire, func(at sim.Time, payload any) {
-		host.InjectFromWire(at, payload.([]byte))
-	})
-	r.toClient = g.Connect(ss, cs, wire, func(at sim.Time, payload any) {
-		client.Deliver(at, payload.([]byte))
-	})
-	// Outbound frames leave over the cross-shard wire instead of being
-	// scheduled on the server's own engine.
-	host.WireTx = func(now, arrive sim.Time, frame []byte) {
-		r.toClient.Send(now, arrive-now, frame)
-	}
-	return r
-}
-
-// InjectFn is the generator hook (PingPong.Inject and friends) routing
-// client→server frames over the cross-shard wire link.
-func (r *SplitRig) InjectFn() func(now, arrive sim.Time, frame []byte) {
-	return func(now, arrive sim.Time, frame []byte) {
-		r.toServer.Send(now, arrive-now, frame)
-	}
-}
-
-// Run executes warmup + duration across the shard group with the given
-// worker count, resetting the utilization window at the end of warmup
-// exactly as Rig.Run does.
-func (r *SplitRig) Run(p Params, workers int) error {
-	r.Host.Eng.At(p.Warmup, func() { r.Host.ProcCore.ResetWindow(p.Warmup) })
-	return r.Group.Run(p.Warmup+p.Duration, workers)
-}
+// This file holds the topology-level parallel workloads: the paper's
+// testbed split at the wire, and the RSS receive path split per RX queue.
+// Both topologies are declarative testbed Specs (internal/testbed) over
+// the conservative shard runtime (internal/par) and are deterministic for
+// any worker count — the lookahead comes from physical delays the
+// sequential model already charges (wire propagation for the link split,
+// and again wire propagation for the fan-out to per-queue shards, since
+// RSS steering is decided before the frame ever touches a CPU).
 
 // splitWorkload wires the Fig. 3/9-style workload (1 kpps high-priority
-// ping-pong plus optional background flood) onto a wire-split rig. The
-// generators live on the client shard; the echo/sink apps on the server.
-func splitWorkload(p Params, mode prio.Mode, bgRate float64) (*SplitRig, *traffic.PingPong, *traffic.UDPFlood) {
-	r := NewSplitRig(p, mode)
-	hi := r.Host.AddContainer("hi-srv")
-	pp := traffic.NewPingPong(r.ClientShard.Eng, r.Host, hi, clientSrc(0), PortHighPrio, p.HighRate)
-	r.Host.DB.Add(prio.Rule{IP: hi.IP, Port: PortHighPrio})
+// ping-pong plus optional background flood) onto a wire-split testbed.
+// The generators live on the client shard; the echo/sink apps on the
+// server.
+func splitWorkload(p Params, mode prio.Mode, bgRate float64) (*testbed.Testbed, *traffic.PingPong, *traffic.UDPFlood) {
+	r := NewTestbed(p, mode, testbed.WireSplit)
+	host := r.Host()
+	hi := host.AddContainer("hi-srv")
+	pp := traffic.NewPingPong(r.ClientShard.Eng, host, hi, clientSrc(0), PortHighPrio, p.HighRate)
+	host.DB.Add(prio.Rule{IP: hi.IP, Port: PortHighPrio})
 	pp.Warmup = p.Warmup
-	pp.Inject = r.InjectFn()
+	pp.Inject = r.Inject(0)
 	mustNoErr(pp.InstallEcho(p.EchoCost))
 	pp.Start(r.Client, 0)
 
 	var fl *traffic.UDPFlood
 	if bgRate > 0 {
-		bg := r.Host.AddContainer("bg-srv")
-		fl = traffic.NewUDPFlood(r.ClientShard.Eng, r.Host, bg, clientSrc(1), PortBackgrnd, bgRate)
+		bg := host.AddContainer("bg-srv")
+		fl = traffic.NewUDPFlood(r.ClientShard.Eng, host, bg, clientSrc(1), PortBackgrnd, bgRate)
 		fl.Burst = p.BGBurst
 		fl.Poisson = false
 		fl.JitterFrac = 0.25
-		fl.Inject = r.InjectFn()
+		fl.Inject = r.Inject(0)
 		mustNoErr(fl.InstallSink(p.SinkCost))
 		fl.Start(0)
 	}
@@ -138,111 +49,7 @@ func splitWorkload(p Params, mode prio.Mode, bgRate float64) (*SplitRig, *traffi
 // topology, returning the same (histogram, flow, utilization) triple.
 func SplitLatencyUnderLoad(p Params, mode prio.Mode, bgRate float64, workers int) (*stats.Histogram, *traffic.PingPong, float64) {
 	r, pp, _ := splitWorkload(p, mode, bgRate)
-	mustNoErr(r.Run(p, workers))
-	return pp.Hist, pp, r.Host.ProcCore.Utilization(r.Host.Eng.Now())
-}
-
-// RSSSplitRig shards the multi-queue receive path per RX queue: queue q's
-// NIC, NAPI engine, processing core, bridge cell, backlog, containers and
-// application threads all live on shard q, because RSS with per-core IRQ
-// affinity makes the queues independent once steering has happened — and
-// steering happens in NIC hardware, before any simulated CPU touches the
-// frame. The client steers each frame with the exact RSS hash the NIC
-// would use and sends it over that queue's wire link.
-//
-// The decomposition requires each flow's endpoints (container, sockets,
-// app thread) to live with the queue its flow hashes to, which is true
-// whenever RSS isolates flows — the regime the scaling experiment's
-// aggregate-throughput measurement studies. Colliding flows (two flows,
-// one queue) live on one shard together, which the model handles
-// naturally: the collision is intra-shard.
-type RSSSplitRig struct {
-	Group       *par.Group
-	ClientShard *par.Shard
-	QueueShards []*par.Shard
-	// Hosts[q] is queue q's slice of the server: a single-queue host on
-	// shard q. They share the cost model and mode.
-	Hosts  []*overlay.Host
-	Client *traffic.Client
-	// Pipes[q] is queue q's shard-local observability pipeline; merge them
-	// in queue order (obs.MergeRegistries / obs.MergeEvents) to recover the
-	// aggregate view deterministically.
-	Pipes []*obs.Pipeline
-
-	toQueue  []*par.Link
-	toClient []*par.Link
-}
-
-// NewRSSSplitRig builds a queues-way sharded server.
-func NewRSSSplitRig(p Params, mode prio.Mode, queues int) *RSSSplitRig {
-	if queues < 1 {
-		panic("experiments: RSS split needs at least one queue")
-	}
-	g := par.NewGroup()
-	cs := g.Add("client", sim.NewEngine(clientSeed(p.Seed)))
-	r := &RSSSplitRig{Group: g, ClientShard: cs}
-	for q := 0; q < queues; q++ {
-		ss := g.Add(fmt.Sprintf("rxq%d", q), sim.NewEngine(p.Seed+uint64(q)*0x9e3779b9))
-		pipe := obs.NewPipeline(fmt.Sprintf("rxq%d", q))
-		host := overlay.NewHost(ss.Eng, overlay.Config{
-			Mode:       mode,
-			RxQueues:   1,
-			CStates:    cpu.C1,
-			AppCStates: cpu.C1,
-			NIC:        splitNICConfig(p),
-			Obs:        pipe,
-		})
-		r.QueueShards = append(r.QueueShards, ss)
-		r.Hosts = append(r.Hosts, host)
-		r.Pipes = append(r.Pipes, pipe)
-	}
-	// One logical client machine demuxes every queue's replies; the
-	// attach below is to the first host only for construction, the real
-	// return path is the per-queue links.
-	r.Client = traffic.NewClient(r.Hosts[0])
-	wire := r.Hosts[0].Costs.WireLatency
-	for q := 0; q < queues; q++ {
-		host := r.Hosts[q]
-		r.toQueue = append(r.toQueue, g.Connect(cs, r.QueueShards[q], wire,
-			func(at sim.Time, payload any) {
-				host.InjectFromWire(at, payload.([]byte))
-			}))
-		back := g.Connect(r.QueueShards[q], cs, wire,
-			func(at sim.Time, payload any) {
-				r.Client.Deliver(at, payload.([]byte))
-			})
-		r.toClient = append(r.toClient, back)
-		host.WireTx = func(now, arrive sim.Time, frame []byte) {
-			back.Send(now, arrive-now, frame)
-		}
-	}
-	return r
-}
-
-// QueueFor reports which shard RSS steers a frame to.
-func (r *RSSSplitRig) QueueFor(frame []byte) int {
-	return overlay.RSSQueue(frame, len(r.Hosts))
-}
-
-// InjectFn returns the generator hook for a flow that must land on queue
-// q. It panics if a frame's RSS hash disagrees with the placement — the
-// decomposition would silently diverge from the single-host model
-// otherwise.
-func (r *RSSSplitRig) InjectFn(q int) func(now, arrive sim.Time, frame []byte) {
-	return func(now, arrive sim.Time, frame []byte) {
-		if got := r.QueueFor(frame); got != q {
-			panic(fmt.Sprintf("experiments: flow placed on queue shard %d but RSS steers it to %d", q, got))
-		}
-		r.toQueue[q].Send(now, arrive-now, frame)
-	}
-}
-
-// Run executes warmup + duration across all shards, resetting every
-// queue's processing-core utilization window after warmup.
-func (r *RSSSplitRig) Run(p Params, workers int) error {
-	for _, h := range r.Hosts {
-		h := h
-		h.Eng.At(p.Warmup, func() { h.ProcCore.ResetWindow(p.Warmup) })
-	}
-	return r.Group.Run(p.Warmup+p.Duration, workers)
+	mustNoErr(r.Run(p.Warmup, p.Duration, workers))
+	host := r.Host()
+	return pp.Hist, pp, host.ProcCore.Utilization(host.Eng.Now())
 }

@@ -9,6 +9,7 @@ import (
 	"prism/internal/prio"
 	"prism/internal/sim"
 	"prism/internal/stats"
+	"prism/internal/testbed"
 	"prism/internal/traffic"
 )
 
@@ -89,15 +90,16 @@ func runSplit(t *testing.T, workers int) splitObs {
 	pp.OnSample = func(seq uint64, lat sim.Time) {
 		o.Samples = append(o.Samples, sample{seq, lat})
 	}
-	if err := r.Run(p, workers); err != nil {
+	if err := r.Run(p.Warmup, p.Duration, workers); err != nil {
 		t.Fatalf("split run (workers=%d): %v", workers, err)
 	}
 	o.CDF = pp.Hist.CDF()
 	o.Sent, o.Received = pp.Sent, pp.Received
-	o.Util = r.Host.ProcCore.Utilization(r.Host.Eng.Now())
+	host := r.Host()
+	o.Util = host.ProcCore.Utilization(host.Eng.Now())
 	o.Windows = r.Group.Windows
-	o.Metrics = obs.PrometheusText(r.Pipe.M)
-	o.Spans = r.Pipe.T.Events()
+	o.Metrics = obs.PrometheusText(r.Pipe().M)
+	o.Spans = r.Pipe().T.Events()
 	return o
 }
 
@@ -166,7 +168,7 @@ type rssObs struct {
 
 // steeredSrc probes client source ports until the flow (src → ctr:port)
 // RSS-hashes onto queue q, mirroring scalingCollision's probing.
-func steeredSrc(t *testing.T, r *RSSSplitRig, ctr *overlay.Container, port uint16, q, idx int) overlay.RemoteEndpoint {
+func steeredSrc(t *testing.T, r *testbed.Testbed, ctr *overlay.Container, port uint16, q, idx int) overlay.RemoteEndpoint {
 	t.Helper()
 	for i := 0; i < 256; i++ {
 		cand := overlay.ClientContainer(idx, uint16(43000+i))
@@ -182,7 +184,7 @@ func runRSSSplit(t *testing.T, workers int) rssObs {
 	t.Helper()
 	p := detParams()
 	const queues = 2
-	r := NewRSSSplitRig(p, prio.ModeSync, queues)
+	r := NewTestbed(p, prio.ModeSync, testbed.RSSSplit, WithQueues(queues))
 
 	o := rssObs{Samples: make([][]sample, queues)}
 	pps := make([]*traffic.PingPong, queues)
@@ -196,7 +198,7 @@ func runRSSSplit(t *testing.T, workers int) rssObs {
 		hiSrc := steeredSrc(t, r, hi, PortHighPrio, q, 50+2*q)
 		pp := traffic.NewPingPong(r.ClientShard.Eng, host, hi, hiSrc, PortHighPrio, p.HighRate)
 		pp.Warmup = p.Warmup
-		pp.Inject = r.InjectFn(q)
+		pp.Inject = r.Inject(q)
 		qq := q
 		pp.OnSample = func(seq uint64, lat sim.Time) {
 			o.Samples[qq] = append(o.Samples[qq], sample{seq, lat})
@@ -210,7 +212,7 @@ func runRSSSplit(t *testing.T, workers int) rssObs {
 		fl.Burst = p.BGBurst
 		fl.Poisson = false
 		fl.JitterFrac = 0.25
-		fl.Inject = r.InjectFn(q)
+		fl.Inject = r.Inject(q)
 		counters[q] = stats.NewRateCounter("q")
 		fl.Delivered = counters[q]
 		mustNoErr(fl.InstallSink(p.SinkCost))
@@ -220,7 +222,7 @@ func runRSSSplit(t *testing.T, workers int) rssObs {
 		host.Eng.At(p.Warmup, func() { ctr.Start(p.Warmup) })
 	}
 
-	if err := r.Run(p, workers); err != nil {
+	if err := r.Run(p.Warmup, p.Duration, workers); err != nil {
 		t.Fatalf("rss split run (workers=%d): %v", workers, err)
 	}
 

@@ -12,6 +12,7 @@ import (
 	"prism/internal/overlay"
 	"prism/internal/prio"
 	"prism/internal/sim"
+	"prism/internal/testbed"
 	"prism/internal/traffic"
 )
 
@@ -93,23 +94,39 @@ func (p Params) quick() Params {
 	return p
 }
 
-// Rig is one fully wired testbed instance.
-type Rig struct {
-	Eng    *sim.Engine
-	Host   *overlay.Host
-	Client *traffic.Client
+// RigOption tweaks the declarative testbed Spec a rig is built from.
+type RigOption func(*testbed.Spec)
+
+// WithObs instruments the host's whole receive path with an
+// observability pipeline.
+func WithObs(pipe *obs.Pipeline) RigOption {
+	return func(s *testbed.Spec) { s.Pipe = pipe }
 }
 
-// NewRig builds the standard testbed for a mode: the paper's server
-// machine with C1-pinned cores and a ConnectX-5-like NIC (adaptive
-// interrupt moderation, GRO on).
-func NewRig(p Params, mode prio.Mode) *Rig { return NewRigObs(p, mode, nil) }
+// WithBatchSize overrides the NAPI batch weight (Linux default 64) — the
+// ablation knob of the batching tradeoff sweep.
+func WithBatchSize(n int) RigOption {
+	return func(s *testbed.Spec) { s.BatchSize = n }
+}
 
-// NewRigObs is NewRig with an observability pipeline instrumenting the
-// host's whole receive path (nil behaves exactly like NewRig).
-func NewRigObs(p Params, mode prio.Mode, pipe *obs.Pipeline) *Rig {
-	eng := sim.NewEngine(p.Seed)
-	host := overlay.NewHost(eng, overlay.Config{
+// WithQueues sets the NIC RX queue count (RSS with per-core IRQ
+// affinity); the default is the paper's single-core configuration.
+func WithQueues(n int) RigOption {
+	return func(s *testbed.Spec) { s.RxQueues = n }
+}
+
+// WithPolicy overrides the softirq poll policy by registry name
+// ("vanilla", "prism", "headonly", "dualq", …) independently of the mode.
+func WithPolicy(name string) RigOption {
+	return func(s *testbed.Spec) { s.Policy = name }
+}
+
+// baseSpec is the standard experiment testbed for a mode: the paper's
+// server machine with C1-pinned cores and a ConnectX-5-like NIC (adaptive
+// interrupt moderation, GRO on).
+func baseSpec(p Params, mode prio.Mode) testbed.Spec {
+	return testbed.Spec{
+		Seed:       p.Seed,
 		Mode:       mode,
 		CStates:    cpu.C1,
 		AppCStates: cpu.C1,
@@ -120,16 +137,40 @@ func NewRigObs(p Params, mode prio.Mode, pipe *obs.Pipeline) *Rig {
 			GRO:           true,
 			PriorityRings: p.DriverPrio,
 		},
-		Obs: pipe,
-	})
-	return &Rig{Eng: eng, Host: host, Client: traffic.NewClient(host)}
+	}
+}
+
+// NewTestbed declaratively builds any experiment topology — Monolithic,
+// WireSplit or RSSSplit — from the shared Params.
+func NewTestbed(p Params, mode prio.Mode, split testbed.Split, opts ...RigOption) *testbed.Testbed {
+	spec := baseSpec(p, mode)
+	spec.Split = split
+	for _, opt := range opts {
+		opt(&spec)
+	}
+	return testbed.New(spec)
+}
+
+// Rig is one fully wired single-engine testbed instance.
+type Rig struct {
+	Eng    *sim.Engine
+	Host   *overlay.Host
+	Client *traffic.Client
+
+	tb *testbed.Testbed
+}
+
+// NewRig builds the standard monolithic testbed for a mode; options opt
+// into observability, RX queues, poll-policy and batch-weight overrides.
+func NewRig(p Params, mode prio.Mode, opts ...RigOption) *Rig {
+	tb := NewTestbed(p, mode, testbed.Monolithic, opts...)
+	return &Rig{Eng: tb.Eng, Host: tb.Host(), Client: tb.Client, tb: tb}
 }
 
 // Run executes warmup + duration and resets the utilization window at the
 // end of warmup so Utilization reflects only the measured interval.
 func (r *Rig) Run(p Params) error {
-	r.Eng.At(p.Warmup, func() { r.Host.ProcCore.ResetWindow(p.Warmup) })
-	return r.Eng.Run(p.Warmup + p.Duration)
+	return r.tb.Run(p.Warmup, p.Duration, 1)
 }
 
 // Utilization returns the processing core's busy fraction over the

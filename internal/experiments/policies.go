@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"prism/internal/par"
+	"prism/internal/prio"
+	"prism/internal/stats"
+)
+
+// PolicyVariant names one softirq poll-policy configuration: a registry
+// policy plus the DB mode it runs under (the mode matters only to
+// policies that consult it — "prism" reads it for batch vs sync).
+type PolicyVariant struct {
+	Policy string
+	Mode   prio.Mode
+}
+
+// Label renders the variant the way the paper names it.
+func (v PolicyVariant) Label() string {
+	if v.Policy == "prism" {
+		return v.Mode.String()
+	}
+	return v.Policy
+}
+
+// PolicyVariants is the default ablation ladder: the two baselines of the
+// paper (vanilla, PRISM-batch, PRISM-sync) plus each PRISM mechanism in
+// isolation — head insertion only and dual queues only — which the forked
+// engines could not express.
+var PolicyVariants = []PolicyVariant{
+	{Policy: "vanilla", Mode: prio.ModeVanilla},
+	{Policy: "dualq", Mode: prio.ModeBatch},
+	{Policy: "headonly", Mode: prio.ModeBatch},
+	{Policy: "prism", Mode: prio.ModeBatch},
+	{Policy: "prism", Mode: prio.ModeSync},
+}
+
+// PolicyRow is one variant's measurement under the standard contended
+// workload (1 kpps high-priority flow vs background flood on one core).
+type PolicyRow struct {
+	Variant PolicyVariant
+	Busy    stats.Summary
+	BusyCDF []stats.CDFPoint
+	Util    float64
+}
+
+// PoliciesResult is the poll-policy ablation: how much of PRISM's win
+// comes from poll-list reordering vs queue separation vs
+// run-to-completion.
+type PoliciesResult struct {
+	Rows []PolicyRow
+}
+
+// Policies runs the ablation over the given variants (default
+// PolicyVariants). Each variant is an independent measurement point, so
+// they fan out over p.Workers with bit-identical results.
+func Policies(p Params, variants []PolicyVariant) PoliciesResult {
+	if len(variants) == 0 {
+		variants = PolicyVariants
+	}
+	res := PoliciesResult{Rows: make([]PolicyRow, len(variants))}
+	par.ForEach(len(variants), p.Workers, func(i int) {
+		v := variants[i]
+		hist, _, util := latencyUnderLoad(p, v.Mode, p.BGRate, true, WithPolicy(v.Policy))
+		res.Rows[i] = PolicyRow{
+			Variant: v,
+			Busy:    hist.Summarize(),
+			BusyCDF: hist.CDF(),
+			Util:    util,
+		}
+	})
+	return res
+}
+
+// PolicyByName builds the variant list for a single -policy flag value:
+// the bare registry name, with "prism" expanded to both modes.
+func PolicyByName(name string) []PolicyVariant {
+	if name == "" || name == "all" {
+		return nil
+	}
+	if name == "prism" {
+		return []PolicyVariant{
+			{Policy: "prism", Mode: prio.ModeBatch},
+			{Policy: "prism", Mode: prio.ModeSync},
+		}
+	}
+	mode := prio.ModeBatch
+	if name == "vanilla" {
+		mode = prio.ModeVanilla
+	}
+	return []PolicyVariant{{Policy: name, Mode: mode}}
+}
+
+// String renders the ablation table.
+func (r PoliciesResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Poll-policy ablation — high-priority latency under background load, per softirq policy\n")
+	fmt.Fprintf(&b, "%-14s %10s %10s %10s %10s %8s\n", "policy", "mean(µs)", "p50(µs)", "p99(µs)", "max(µs)", "util")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-14s %10.1f %10.1f %10.1f %10.1f %7.0f%%\n",
+			row.Variant.Label(), row.Busy.Mean.Micros(), row.Busy.P50.Micros(),
+			row.Busy.P99.Micros(), row.Busy.Max.Micros(), 100*row.Util)
+	}
+	return b.String()
+}

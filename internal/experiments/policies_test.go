@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"prism/internal/prio"
+)
+
+// TestPoliciesAblationLadder runs the full default variant ladder — which
+// drives every registered policy, including the ablation-only headonly
+// and dualq, through the unified softirq runtime — and checks the
+// qualitative ordering the paper's mechanism decomposition predicts: each
+// PRISM mechanism alone improves on vanilla, and the combined engine
+// improves on either mechanism alone.
+func TestPoliciesAblationLadder(t *testing.T) {
+	p := quickParams()
+	res := Policies(p, nil)
+	if len(res.Rows) != len(PolicyVariants) {
+		t.Fatalf("expected %d rows, got %d", len(PolicyVariants), len(res.Rows))
+	}
+	mean := map[string]float64{}
+	for _, row := range res.Rows {
+		if row.Busy.Count == 0 {
+			t.Fatalf("%s: empty histogram", row.Variant.Label())
+		}
+		mean[row.Variant.Label()] = float64(row.Busy.Mean)
+	}
+	van := mean["vanilla"]
+	for _, abl := range []string{"dualq", "headonly"} {
+		if mean[abl] >= van {
+			t.Errorf("%s mean %.0f not better than vanilla %.0f", abl, mean[abl], van)
+		}
+		for _, full := range []string{"prism-batch", "prism-sync"} {
+			if mean[full] >= mean[abl] {
+				t.Errorf("%s mean %.0f not better than ablation %s %.0f",
+					full, mean[full], abl, mean[abl])
+			}
+		}
+	}
+}
+
+// TestPoliciesParallelDeterministic: the ladder fans out over workers, so
+// it must be bit-identical for any worker count.
+func TestPoliciesParallelDeterministic(t *testing.T) {
+	run := func(workers int) PoliciesResult {
+		p := detParams()
+		p.Workers = workers
+		return Policies(p, nil)
+	}
+	seq := run(1)
+	for _, w := range []int{2, 4} {
+		if got := run(w); !reflect.DeepEqual(seq, got) {
+			t.Errorf("Policies with %d workers diverged from sequential", w)
+		}
+	}
+}
+
+// TestPolicyByName covers the -policy flag mapping.
+func TestPolicyByName(t *testing.T) {
+	if got := PolicyByName("all"); got != nil {
+		t.Errorf("all should map to the default ladder (nil), got %v", got)
+	}
+	if got := PolicyByName("prism"); len(got) != 2 ||
+		got[0].Mode != prio.ModeBatch || got[1].Mode != prio.ModeSync {
+		t.Errorf("prism should expand to batch+sync, got %v", got)
+	}
+	if got := PolicyByName("vanilla"); len(got) != 1 || got[0].Mode != prio.ModeVanilla {
+		t.Errorf("vanilla should run under ModeVanilla, got %v", got)
+	}
+	if got := PolicyByName("headonly"); len(got) != 1 || got[0].Mode != prio.ModeBatch {
+		t.Errorf("headonly should run under ModeBatch, got %v", got)
+	}
+}

@@ -4,8 +4,6 @@ import (
 	"fmt"
 	"strings"
 
-	"prism/internal/cpu"
-	"prism/internal/nic"
 	"prism/internal/overlay"
 	"prism/internal/par"
 	"prism/internal/prio"
@@ -64,17 +62,7 @@ func Scaling(p Params, queues []int) ScalingResult {
 }
 
 func scalingRig(p Params, mode prio.Mode, queues int) *Rig {
-	eng := sim.NewEngine(p.Seed)
-	host := overlay.NewHost(eng, overlay.Config{
-		Mode:     mode,
-		RxQueues: queues,
-		CStates:  cpu.C1, AppCStates: cpu.C1,
-		NIC: nic.Config{
-			RxUsecs: 8 * sim.Microsecond, RxFrames: 32,
-			AdaptiveIdle: 100 * sim.Microsecond, GRO: true,
-		},
-	})
-	return &Rig{Eng: eng, Host: host, Client: traffic.NewClient(host)}
+	return NewRig(p, mode, WithQueues(queues))
 }
 
 // scalingThroughput overloads the server with 8 distinct flows and

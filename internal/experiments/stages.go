@@ -51,7 +51,7 @@ func Stages(p Params) StagesResult {
 	par.ForEach(len(Modes), p.Workers, func(i int) {
 		mode := Modes[i]
 		pipe := obs.NewPipeline(mode.String())
-		r := NewRigObs(p, mode, pipe)
+		r := NewRig(p, mode, WithObs(pipe))
 
 		hi := r.Host.AddContainer("hi-srv")
 		pp := traffic.NewPingPong(r.Eng, r.Host, hi, clientSrc(0), PortHighPrio, p.HighRate)

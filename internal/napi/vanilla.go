@@ -1,9 +1,10 @@
-// Package napi implements the vanilla Linux NAPI receive engine — the
-// baseline PRISM is compared against. It reproduces the net_rx_action
-// algorithm of Fig. 2 of the paper: a per-CPU *global* poll list that new
-// devices are appended to, a *local* poll list the global list is moved to
-// at the start of each softirq, batched per-device polling (weight 64),
-// an overall softirq budget (300), and strict tail re-enqueuing of devices
+// Package napi implements the vanilla Linux NAPI poll policy — the
+// baseline PRISM is compared against — over the unified softirq runtime
+// (internal/softirq). It reproduces the net_rx_action algorithm of Fig. 2
+// of the paper: a per-CPU *global* poll list that new devices are
+// appended to, a *local* poll list the global list is moved to at the
+// start of each softirq, batched per-device polling (weight 64), an
+// overall softirq budget (300), and strict tail re-enqueuing of devices
 // that still have packets.
 //
 // The two-list design plus tail-enqueue is exactly what produces the
@@ -14,277 +15,119 @@ package napi
 import (
 	"prism/internal/cpu"
 	"prism/internal/netdev"
-	"prism/internal/obs"
 	"prism/internal/pkt"
+	"prism/internal/prio"
 	"prism/internal/sim"
+	"prism/internal/softirq"
 )
 
-// PollObservation describes one iteration of the device polling loop, for
-// trace tooling (Fig. 6 tables).
-type PollObservation struct {
-	Time      sim.Time
-	Iteration uint64
-	Device    string
-	// PollList is the poll-list state after the iteration's re-enqueueing,
-	// in poll order. For vanilla this is the local list followed by the
-	// global list (the paper's trace shows the same concatenated view).
-	PollList []string
+// PolicyName is the registry name of the vanilla policy.
+const PolicyName = "vanilla"
+
+func init() {
+	softirq.Register(PolicyName, func(*prio.DB) softirq.PollPolicy { return NewPolicy() })
 }
 
-// Stats aggregates engine-level counters.
-type Stats struct {
-	SoftirqRuns uint64 // net_rx_action invocations
-	Iterations  uint64 // device polls
-	Packets     uint64 // packets processed through handlers
-	Delivered   uint64 // packets that reached an application socket
-	Dropped     uint64 // packets dropped by handlers or full queues
+// Engine, Stats and PollObservation are the unified runtime's types; the
+// aliases keep this package the natural import for vanilla-NAPI users
+// (tests, trace tooling) while guaranteeing there is exactly one
+// definition of the shared plumbing.
+type (
+	Engine          = softirq.Engine
+	Stats           = softirq.Stats
+	PollObservation = softirq.PollObservation
+)
+
+// NewEngine returns a receive engine running the vanilla policy on a core.
+func NewEngine(eng *sim.Engine, core *cpu.Core, costs *netdev.Costs) *Engine {
+	return softirq.New(eng, core, costs, NewPolicy())
 }
 
-// Engine is the vanilla per-CPU NAPI receive engine. All methods must be
-// called from simulation context (inside events).
-type Engine struct {
-	eng   *sim.Engine
-	core  *cpu.Core
-	costs *netdev.Costs
-
+// Policy is the vanilla NAPI scheduling policy: two FIFO lists, tail
+// insertion everywhere, low-queue-only polling, no priority routing.
+type Policy struct {
 	global []*netdev.Device // POLL_LIST: devices added here when scheduled
 	local  []*netdev.Device // net_rx_action's working list
-
-	pending   bool // softirq raised but not yet started
-	running   bool // net_rx_action in progress
-	processed int  // packets processed in the current softirq
-
-	// lastStage tracks which device's code last ran on this core, for the
-	// I-cache stage-switch penalty (Costs.StageSwitch).
-	lastStage *netdev.Device
-
-	stats Stats
-
-	// OnPoll, when set, is invoked once per device-poll iteration.
-	OnPoll func(PollObservation)
-
-	// obs, when set, receives per-packet lifecycle spans and labeled
-	// metrics for every stage this engine polls.
-	obs *obs.Pipeline
 }
 
-var _ netdev.Scheduler = (*Engine)(nil)
+var _ softirq.PollPolicy = (*Policy)(nil)
 
-// NewEngine returns a vanilla NAPI engine bound to a core.
-func NewEngine(eng *sim.Engine, core *cpu.Core, costs *netdev.Costs) *Engine {
-	return &Engine{eng: eng, core: core, costs: costs}
+// NewPolicy returns a fresh per-CPU vanilla policy.
+func NewPolicy() *Policy { return &Policy{} }
+
+// Arrive appends an IRQ-scheduled device to the global list; vanilla has
+// no priority rings, so the hint is ignored.
+func (p *Policy) Arrive(dev *netdev.Device, _ bool) {
+	p.global = append(p.global, dev)
 }
 
-// Stats returns a copy of the engine counters.
-func (e *Engine) Stats() Stats { return e.stats }
+// Begin is Fig. 2 line 8: move POLL_LIST to the tail of poll_list.
+func (p *Policy) Begin() {
+	p.local = append(p.local, p.global...)
+	p.global = p.global[:0]
+}
 
-// SetOnPoll installs the per-iteration trace hook.
-func (e *Engine) SetOnPoll(fn func(PollObservation)) { e.OnPoll = fn }
-
-// SetObs installs the observability pipeline (nil disables collection).
-func (e *Engine) SetObs(p *obs.Pipeline) { e.obs = p }
-
-// Core returns the processing core this engine runs on.
-func (e *Engine) Core() *cpu.Core { return e.core }
-
-// NotifyArrival implements netdev.Scheduler: the hardware-IRQ path. If the
-// device is already scheduled (NAPI_STATE_SCHED set), its IRQs are masked
-// and the packet just sits in the queue; otherwise the top half runs,
-// charges its cost, and schedules the device.
-func (e *Engine) NotifyArrival(dev *netdev.Device, _ bool) {
-	if dev.InPollList {
-		return
+// Next pops the local working list's head; an empty local list ends the
+// run even if the global list refilled meanwhile.
+func (p *Policy) Next() *netdev.Device {
+	if len(p.local) == 0 {
+		return nil
 	}
-	dev.InPollList = true
-	now := e.eng.Now()
-	// Top half: charge the hardware interrupt on this core. If the core is
-	// mid-softirq the charge extends its busy window (interrupts steal
-	// cycles from the softirq); poll iterations re-sync with the ledger.
-	start := e.core.Acquire(now)
-	e.core.Consume(start, e.costs.IRQ)
-	e.global = append(e.global, dev)
-	e.raise(now)
+	dev := p.local[0]
+	p.local = p.local[1:]
+	return dev
 }
 
-// raise schedules net_rx_action if it is neither pending nor running.
-func (e *Engine) raise(now sim.Time) {
-	if e.running || e.pending {
-		return
-	}
-	e.pending = true
-	e.eng.At(e.core.BusyUntil(), e.runSoftirq)
-}
-
-// reraise schedules another net_rx_action after the softirq yields
-// (ksoftirqd handoff delay).
-func (e *Engine) reraise(now sim.Time) {
-	if e.running || e.pending {
-		return
-	}
-	e.pending = true
-	e.eng.At(now+e.costs.SoftirqRestart, e.runSoftirq)
-}
-
-// runSoftirq is net_rx_action: move the global list to the local list and
-// start the device polling loop.
-func (e *Engine) runSoftirq() {
-	e.pending = false
-	e.running = true
-	e.stats.SoftirqRuns++
-	e.processed = 0
-	// Fig. 2 line 8: move POLL_LIST to the tail of poll_list.
-	e.local = append(e.local, e.global...)
-	e.global = e.global[:0]
-	e.pollNext()
-}
-
-// pollNext executes one iteration of the device polling loop (Fig. 2
-// lines 11–20), then schedules itself at the batch's completion time.
-func (e *Engine) pollNext() {
-	now := e.eng.Now()
-	if len(e.local) == 0 || e.processed >= e.costs.Budget {
-		e.finish(now)
-		return
-	}
-	dev := e.local[0]
-	e.local = e.local[1:]
-
-	// Re-sync with the core ledger: interrupts may have extended the busy
-	// window past this event's timestamp.
-	start := e.core.BusyUntil()
-	if start < now {
-		start = e.core.Acquire(now)
-	}
-	n, total := e.pollDevice(dev, start)
-	end := e.core.Consume(start, total)
-	e.processed += n
-	e.stats.Iterations++
-
-	// Fig. 2 lines 15–16: a device with remaining packets goes to the tail
-	// of the *global* list; a drained device completes NAPI (IRQs back on).
+// Requeue is Fig. 2 lines 15–16: a device with remaining packets goes to
+// the tail of the *global* list; a drained device completes NAPI.
+func (p *Policy) Requeue(dev *netdev.Device) {
 	if dev.HasPackets() {
-		e.global = append(e.global, dev)
+		p.global = append(p.global, dev)
 	} else {
 		dev.InPollList = false
 	}
-	e.observe(now, dev)
-	e.eng.At(end, e.pollNext)
 }
 
-// finish is the net_rx_action epilogue (Fig. 2 lines 21–24): remaining
-// local devices are prepended to the global list and, if any device is
-// still scheduled, the softirq is re-raised.
-func (e *Engine) finish(now sim.Time) {
-	if len(e.local) > 0 {
-		merged := make([]*netdev.Device, 0, len(e.local)+len(e.global))
-		merged = append(merged, e.local...)
-		merged = append(merged, e.global...)
-		e.global = merged
-		e.local = nil
+// Finish is the net_rx_action epilogue (Fig. 2 lines 21–24): remaining
+// local devices are prepended to the global list.
+func (p *Policy) Finish() bool {
+	if len(p.local) > 0 {
+		merged := make([]*netdev.Device, 0, len(p.local)+len(p.global))
+		merged = append(merged, p.local...)
+		merged = append(merged, p.global...)
+		p.global = merged
+		p.local = nil
 	}
-	e.running = false
-	if len(e.global) > 0 {
-		e.reraise(now)
-	}
+	return len(p.global) > 0
 }
 
-// pollDevice is napi_poll: process up to BatchSize packets from the
-// device's queue in FIFO order, applying stage transitions. It returns the
-// packet count and the total CPU time of the batch.
-//
-// Vanilla has a single input queue per device; in this codebase that is
-// LowQ (HighQ exists only for PRISM and stays empty under this engine).
-func (e *Engine) pollDevice(dev *netdev.Device, start sim.Time) (int, sim.Time) {
-	if dev.LowQ.Empty() {
-		return 0, 0
-	}
-	dev.Polls++
-	t := start + e.costs.BatchOverhead
-	count := 0
-	for count < e.costs.BatchSize {
-		skb := dev.LowQ.Dequeue()
-		if skb == nil {
-			break
-		}
-		// Cold instruction cache for this stage's code path; within a
-		// batch the working set stays warm, so this fires once per poll.
-		if e.lastStage != dev {
-			t += e.costs.StageSwitch
-			e.lastStage = dev
-		}
-		hStart := t
-		res := dev.Handler.HandlePacket(t, skb)
-		t += res.Cost
-		skb.Stage++
-		count++
-		e.stats.Packets++
-		dev.Processed++
-		if e.obs != nil {
-			e.obs.Span(dev.Name, dev.Kind.StageName(), skb.ID, skb.Priority, hStart, t)
-		}
-		e.applyTransition(dev, skb, res, t)
-	}
-	return count, t - start
+// SelectQueue serves the single input queue. Vanilla has one queue per
+// device; in this codebase that is LowQ (HighQ exists only for
+// priority-aware policies and stays empty under this one).
+func (p *Policy) SelectQueue(dev *netdev.Device) softirq.Queue { return dev.LowQ }
+
+// Route always forwards to the next stage's low queue with tail
+// scheduling — the zero Route.
+func (p *Policy) Route(*pkt.SKB) softirq.Route { return softirq.Route{} }
+
+// Schedule appends a transition-scheduled device to the global list
+// (napi_schedule from softirq context); vanilla never head-inserts.
+func (p *Policy) Schedule(dev *netdev.Device, _ bool) {
+	p.global = append(p.global, dev)
 }
 
-// applyTransition routes a processed packet: enqueue to the next stage
-// (scheduling that device), deliver to the application at the packet's
-// completion time, or drop. dev is the stage that just processed the
-// packet, for drop attribution.
-func (e *Engine) applyTransition(dev *netdev.Device, skb *pkt.SKB, res netdev.Result, done sim.Time) {
-	switch res.Verdict {
-	case netdev.VerdictForward:
-		next := res.Next
-		if !next.LowQ.Enqueue(skb) {
-			e.stats.Dropped++
-			if e.obs != nil {
-				e.obs.Drop(done, next.Name, next.Kind.StageName(), skb.ID, skb.Priority)
-			}
-			return
-		}
-		// napi_schedule from softirq context: append to the global list.
-		if !next.InPollList {
-			next.InPollList = true
-			e.global = append(e.global, next)
-		}
-	case netdev.VerdictDeliver:
-		skb.Delivered = done
-		e.stats.Delivered++
-		if res.Deliver != nil {
-			deliver := res.Deliver
-			e.eng.At(done, func() { deliver(done) })
-		}
-	case netdev.VerdictDrop:
-		e.stats.Dropped++
-		if e.obs != nil {
-			e.obs.Drop(done, dev.Name, dev.Kind.StageName(), skb.ID, skb.Priority)
-		}
-	case netdev.VerdictAbsorbed:
-		// GRO merged the frame into an earlier SKB; nothing to route.
-		if e.obs != nil {
-			e.obs.Absorbed(done, dev.Name, skb.ID, skb.Priority)
-		}
-	default:
-		panic("napi: handler returned invalid verdict")
-	}
-}
+// Promote is never reached (Route never sets Head).
+func (p *Policy) Promote(*netdev.Device) {}
 
-// observe reports one loop iteration to the trace hook.
-func (e *Engine) observe(now sim.Time, dev *netdev.Device) {
-	if e.OnPoll == nil {
-		return
-	}
-	list := make([]string, 0, len(e.local)+len(e.global))
-	for _, d := range e.local {
+// Snapshot renders the local list followed by the global list (the
+// paper's trace shows the same concatenated view).
+func (p *Policy) Snapshot() []string {
+	list := make([]string, 0, len(p.local)+len(p.global))
+	for _, d := range p.local {
 		list = append(list, d.Name)
 	}
-	for _, d := range e.global {
+	for _, d := range p.global {
 		list = append(list, d.Name)
 	}
-	e.OnPoll(PollObservation{
-		Time:      now,
-		Iteration: e.stats.Iterations,
-		Device:    dev.Name,
-		PollList:  list,
-	})
+	return list
 }

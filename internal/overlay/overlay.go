@@ -26,6 +26,7 @@ import (
 	"prism/internal/sched"
 	"prism/internal/sim"
 	"prism/internal/socket"
+	"prism/internal/softirq"
 	"prism/internal/veth"
 )
 
@@ -41,13 +42,13 @@ var (
 	serverCIDR = pkt.IPv4{172, 17, 0, 0}
 )
 
-// RxEngine is the receive-engine surface the topology needs; both the
-// vanilla engine (internal/napi) and PRISM (internal/core) provide it.
+// RxEngine is the receive-engine surface the topology needs; the unified
+// softirq runtime (internal/softirq) provides it for every poll policy.
 type RxEngine interface {
 	netdev.Scheduler
-	Stats() napi.Stats
+	Stats() softirq.Stats
 	Core() *cpu.Core
-	SetOnPoll(func(napi.PollObservation))
+	SetOnPoll(func(softirq.PollObservation))
 	SetObs(*obs.Pipeline)
 }
 
@@ -63,6 +64,11 @@ type Config struct {
 
 	// Mode selects the receive engine: vanilla, PRISM-batch or PRISM-sync.
 	Mode prio.Mode
+	// Policy optionally overrides the softirq poll policy by registry name
+	// ("vanilla", "prism", "headonly", "dualq", …); empty derives the
+	// policy from Mode. The Mode still drives flow classification and the
+	// PRISM batch/sync switch for policies that consult it.
+	Policy string
 	// Costs is the CPU cost model; nil uses netdev.DefaultCosts.
 	Costs *netdev.Costs
 	// CStates configures the processing core's power management; nil means
@@ -172,15 +178,23 @@ func NewHost(eng *sim.Engine, cfg Config) *Host {
 	h.HostSockets.Obs = cfg.Obs
 	h.HostThread = sched.NewThread("host-app", eng, cpu.NewCore(h.allocCore(), cfg.AppCStates), cfg.Costs.AppWakeup)
 
+	// Resolve the poll policy name once; every RX queue gets its own
+	// instance (policies hold per-CPU state).
+	polName := cfg.Policy
+	if polName == "" {
+		if cfg.Mode == prio.ModeVanilla {
+			polName = napi.PolicyName
+		} else {
+			polName = core.PolicyName
+		}
+	}
 	for q := 0; q < cfg.RxQueues; q++ {
 		coreQ := cpu.NewCore(h.allocCore(), cfg.CStates)
-		var rx RxEngine
-		switch cfg.Mode {
-		case prio.ModeVanilla:
-			rx = napi.NewEngine(eng, coreQ, cfg.Costs)
-		default:
-			rx = core.NewEngine(eng, coreQ, cfg.Costs, h.DB)
+		pol, err := softirq.NewPolicy(polName, h.DB)
+		if err != nil {
+			panic("overlay: " + err.Error())
 		}
+		rx := softirq.New(eng, coreQ, cfg.Costs, pol)
 		rx.SetObs(cfg.Obs)
 
 		nicCfg := cfg.NIC
@@ -193,7 +207,7 @@ func NewHost(eng *sim.Engine, cfg Config) *Host {
 		// identities are unique host-wide (the obs pipeline keys
 		// per-packet state by ID).
 		nicCfg.FirstID = uint64(q) << 48
-		if cfg.Mode == prio.ModeVanilla {
+		if polName == napi.PolicyName {
 			// Vanilla NAPI has a single input queue per device and cannot
 			// use a priority ring even if the hardware offers one.
 			nicCfg.PriorityRings = false

@@ -1,0 +1,47 @@
+package softirq
+
+import (
+	"fmt"
+	"sort"
+
+	"prism/internal/prio"
+)
+
+// PolicyFactory builds one per-CPU policy instance. The priority database
+// carries both flow classification and the batch/sync runtime mode;
+// policies that need neither ignore it.
+type PolicyFactory func(db *prio.DB) PollPolicy
+
+var registry = map[string]PolicyFactory{}
+
+// Register adds a named policy to the registry. Policy packages call it
+// from init(); registering a duplicate name panics, as that is always a
+// wiring bug.
+func Register(name string, f PolicyFactory) {
+	if name == "" || f == nil {
+		panic("softirq: Register needs a name and a factory")
+	}
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("softirq: policy %q registered twice", name))
+	}
+	registry[name] = f
+}
+
+// NewPolicy builds a fresh instance of a registered policy.
+func NewPolicy(name string, db *prio.DB) (PollPolicy, error) {
+	f, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("softirq: unknown policy %q (have %v)", name, Policies())
+	}
+	return f(db), nil
+}
+
+// Policies lists the registered policy names, sorted.
+func Policies() []string {
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,42 @@
+package softirq_test
+
+import (
+	"reflect"
+	"testing"
+
+	// Imported for their init() registrations, as overlay does.
+	"prism/internal/core"
+	"prism/internal/napi"
+	"prism/internal/prio"
+	"prism/internal/softirq"
+)
+
+func TestRegistryNames(t *testing.T) {
+	want := []string{core.PolicyDualQ, core.PolicyHeadOnly, core.PolicyName, napi.PolicyName}
+	if got := softirq.Policies(); !reflect.DeepEqual(got, want) {
+		t.Errorf("Policies() = %v, want %v", got, want)
+	}
+}
+
+func TestNewPolicy(t *testing.T) {
+	db := prio.NewDB()
+	db.SetMode(prio.ModeBatch)
+	for _, name := range softirq.Policies() {
+		pol, err := softirq.NewPolicy(name, db)
+		if err != nil || pol == nil {
+			t.Errorf("NewPolicy(%q) = %v, %v", name, pol, err)
+		}
+	}
+	if _, err := softirq.NewPolicy("no-such-policy", db); err == nil {
+		t.Error("NewPolicy should reject unknown names")
+	}
+}
+
+func TestRegisterRejectsDuplicates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate Register should panic")
+		}
+	}()
+	softirq.Register(napi.PolicyName, func(*prio.DB) softirq.PollPolicy { return nil })
+}

@@ -40,6 +40,7 @@ import (
 	"prism/internal/prio"
 	"prism/internal/sim"
 	"prism/internal/socket"
+	"prism/internal/softirq"
 	"prism/internal/stats"
 	"prism/internal/traffic"
 )
@@ -94,6 +95,7 @@ type config struct {
 	costs   *netdev.Costs
 	cstates []cpu.CState
 	nic     nic.Config
+	policy  string
 }
 
 // WithMode selects the receive engine (default ModeVanilla).
@@ -124,6 +126,16 @@ func WithoutGRO() Option { return func(c *config) { c.nic.GRO = false } }
 // Effective only with PRISM modes; vanilla cannot use the extra ring.
 func WithDriverPriority() Option { return func(c *config) { c.nic.PriorityRings = true } }
 
+// WithPolicy overrides the softirq poll policy by registry name
+// ("vanilla", "prism", or an ablation such as "headonly" or "dualq").
+// By default the policy is derived from the mode; the override lets the
+// paper's mechanisms be enabled one at a time. Panics at NewSimulation if
+// the name is not registered (see Policies).
+func WithPolicy(name string) Option { return func(c *config) { c.policy = name } }
+
+// Policies returns the registered softirq poll policy names, sorted.
+func Policies() []string { return softirq.Policies() }
+
 // Simulation is a fully wired testbed instance.
 type Simulation struct {
 	eng    *sim.Engine
@@ -152,6 +164,7 @@ func NewSimulation(opts ...Option) *Simulation {
 	eng := sim.NewEngine(cfg.seed)
 	host := overlay.NewHost(eng, overlay.Config{
 		Mode:       cfg.mode,
+		Policy:     cfg.policy,
 		Costs:      cfg.costs,
 		CStates:    cfg.cstates,
 		AppCStates: cfg.cstates,
@@ -339,4 +352,7 @@ var (
 	RunFig12 = experiments.Fig12
 	// RunFig13 runs the web-serving benchmark.
 	RunFig13 = experiments.Fig13
+	// RunPolicies runs the softirq poll-policy ablation (nil variants =
+	// the default ladder: vanilla, dualq, headonly, prism-batch, -sync).
+	RunPolicies = experiments.Policies
 )
