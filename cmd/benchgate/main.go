@@ -1,0 +1,93 @@
+// Command benchgate compares a fresh benchmark run against a committed
+// BENCH_results.json baseline and fails when any shared benchmark's ns/op
+// regressed by more than the threshold. CI copies the committed file
+// aside, reruns the gated benchmarks (which rewrite BENCH_results.json in
+// place), and then invokes this gate:
+//
+//	cp BENCH_results.json /tmp/baseline.json
+//	go test -run XXX -bench 'SoftirqPoll|AblationBurst' -benchmem .
+//	go run ./cmd/benchgate -baseline /tmp/baseline.json
+//
+// Benchmarks present on only one side are reported but never fail the
+// gate, so adding or retiring a benchmark does not need a baseline dance.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+)
+
+type record struct {
+	Name    string  `json:"name"`
+	NsPerOp float64 `json:"ns_per_op"`
+}
+
+func load(path string) (map[string]record, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var recs []record
+	if err := json.Unmarshal(buf, &recs); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	out := make(map[string]record, len(recs))
+	for _, r := range recs {
+		out[r.Name] = r
+	}
+	return out, nil
+}
+
+func main() {
+	baseline := flag.String("baseline", "", "committed baseline BENCH_results.json")
+	current := flag.String("current", "BENCH_results.json", "freshly generated results")
+	threshold := flag.Float64("threshold", 0.10, "allowed fractional ns/op regression")
+	flag.Parse()
+	if *baseline == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: -baseline is required")
+		os.Exit(2)
+	}
+
+	base, err := load(*baseline)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	cur, err := load(*current)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+
+	names := make([]string, 0, len(cur))
+	for name := range cur {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	failed := false
+	for _, name := range names {
+		c := cur[name]
+		b, ok := base[name]
+		if !ok || b.NsPerOp <= 0 {
+			fmt.Printf("  new       %-60s %14.0f ns/op\n", name, c.NsPerOp)
+			continue
+		}
+		delta := (c.NsPerOp - b.NsPerOp) / b.NsPerOp
+		verdict := "ok"
+		if delta > *threshold {
+			verdict = "REGRESSION"
+			failed = true
+		}
+		fmt.Printf("  %-9s %-60s %14.0f -> %14.0f ns/op (%+.1f%%)\n",
+			verdict, name, b.NsPerOp, c.NsPerOp, 100*delta)
+	}
+	if failed {
+		fmt.Fprintf(os.Stderr, "benchgate: ns/op regressed more than %.0f%% against %s\n",
+			100**threshold, *baseline)
+		os.Exit(1)
+	}
+}

@@ -34,6 +34,12 @@ type Bridge struct {
 	fdb   map[pkt.MAC]fdbEntry
 	ports []*netdev.Device
 
+	// nextSweep schedules the amortized garbage collection of expired
+	// dynamic entries (br_fdb_cleanup). Without it a MAC that stops
+	// receiving lookups would pin its entry forever — Lookup's expiry
+	// check only fires for the address being queried.
+	nextSweep sim.Time
+
 	// Flooded counts unknown-unicast/broadcast floods; Unknown counts
 	// frames dropped because no port could take them.
 	Flooded uint64
@@ -76,9 +82,25 @@ func (b *Bridge) Lookup(now sim.Time, mac pkt.MAC) *netdev.Device {
 // FDBLen returns the number of FDB entries (static and learned).
 func (b *Bridge) FDBLen() int { return len(b.fdb) }
 
+// sweep deletes every expired dynamic entry, then reschedules itself one
+// aging period out. Driven by the virtual clock on the packet path, so a
+// busy bridge cleans its whole table without per-entry timers and an idle
+// bridge defers the work until there is traffic to account it to.
+func (b *Bridge) sweep(now sim.Time) {
+	for mac, e := range b.fdb {
+		if e.seen >= 0 && now-e.seen > b.aging {
+			delete(b.fdb, mac)
+		}
+	}
+	b.nextSweep = now + b.aging
+}
+
 // handle is the stage-2 processing for one frame: learn source, look up
 // destination, forward.
 func (b *Bridge) handle(now sim.Time, skb *pkt.SKB) netdev.Result {
+	if now >= b.nextSweep {
+		b.sweep(now)
+	}
 	eth, err := pkt.ParseEthernet(skb.Data)
 	if err != nil {
 		return netdev.Result{Verdict: netdev.VerdictDrop, Cost: b.costs.BridgePacket}

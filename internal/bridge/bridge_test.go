@@ -98,6 +98,39 @@ func TestFDBAging(t *testing.T) {
 	}
 }
 
+func TestExpiredEntrySweptAndFloods(t *testing.T) {
+	b := New("br0", netdev.DefaultCosts())
+	vA := dummyDev("vethA")
+	vB := dummyDev("vethB")
+	b.AddPort(vA)
+	b.AddPort(vB)
+	b.LearnStatic(macB, vB)
+	b.fdb[macA] = fdbEntry{port: vA, seen: 0}
+
+	// Before aging, A's entry forwards.
+	if res := b.handle(sim.Second, &pkt.SKB{Data: frameTo(macA, macB)}); res.Verdict != netdev.VerdictForward {
+		t.Fatalf("fresh entry verdict = %v", res.Verdict)
+	}
+
+	// Advance the virtual clock past the aging horizon with traffic that
+	// never looks A up: the sweep must still collect A's expired entry.
+	at := sim.Second + DefaultAging + sim.Second
+	if res := b.handle(at, &pkt.SKB{Data: frameTo(macB, macC)}); res.Verdict != netdev.VerdictForward {
+		t.Fatalf("static entry verdict = %v", res.Verdict)
+	}
+	if b.FDBLen() != 1 {
+		t.Errorf("FDBLen = %d after sweep, want 1 (static only)", b.FDBLen())
+	}
+
+	// Frames to the expired MAC now flood (unknown unicast) and drop.
+	if res := b.handle(at+1, &pkt.SKB{Data: frameTo(macA, macB)}); res.Verdict != netdev.VerdictDrop {
+		t.Errorf("expired entry verdict = %v, want drop", res.Verdict)
+	}
+	if b.Unknown != 1 {
+		t.Errorf("Unknown = %d, want 1", b.Unknown)
+	}
+}
+
 func TestDynamicRefreshOnTraffic(t *testing.T) {
 	b := New("br0", netdev.DefaultCosts())
 	vA := dummyDev("vethA")

@@ -66,18 +66,32 @@ func NewEngine(eng *sim.Engine, core *cpu.Core, costs *netdev.Costs, db *prio.DB
 }
 
 // pollList is the single per-CPU poll list shared by the PRISM-family
-// policies: pop from the head, insert at head or tail.
+// policies: pop from the head, insert at head or tail. It is a
+// head-indexed deque over one retained backing array — Next advances the
+// head index rather than reslicing, head insertion reclaims the popped
+// slot when one is free, and a fully drained list rewinds to the start —
+// so steady-state polling does not allocate.
 type pollList struct {
 	list []*netdev.Device
+	head int // index of the first live entry
 }
 
 func (l *pollList) insertHead(dev *netdev.Device) {
+	if l.head > 0 {
+		l.head--
+		l.list[l.head] = dev
+		return
+	}
 	l.list = append(l.list, nil)
 	copy(l.list[1:], l.list)
 	l.list[0] = dev
 }
 
 func (l *pollList) insertTail(dev *netdev.Device) {
+	if l.head == len(l.list) {
+		l.list = l.list[:0]
+		l.head = 0
+	}
 	l.list = append(l.list, dev)
 }
 
@@ -85,10 +99,10 @@ func (l *pollList) insertTail(dev *netdev.Device) {
 // in-list but absent is being polled right now (the poll loop will
 // requeue it); nothing to move.
 func (l *pollList) moveToHead(dev *netdev.Device) {
-	for i, d := range l.list {
-		if d == dev {
-			copy(l.list[1:i+1], l.list[:i])
-			l.list[0] = dev
+	for i := l.head; i < len(l.list); i++ {
+		if l.list[i] == dev {
+			copy(l.list[l.head+1:i+1], l.list[l.head:i])
+			l.list[l.head] = dev
 			return
 		}
 	}
@@ -100,21 +114,24 @@ func (l *pollList) Begin() {}
 
 // Next pops the list head.
 func (l *pollList) Next() *netdev.Device {
-	if len(l.list) == 0 {
+	if l.head >= len(l.list) {
+		l.list = l.list[:0]
+		l.head = 0
 		return nil
 	}
-	dev := l.list[0]
-	l.list = l.list[1:]
+	dev := l.list[l.head]
+	l.list[l.head] = nil
+	l.head++
 	return dev
 }
 
 // Finish reports whether the softirq must be re-raised.
-func (l *pollList) Finish() bool { return len(l.list) > 0 }
+func (l *pollList) Finish() bool { return len(l.list) > l.head }
 
 // Snapshot renders the single list in poll order.
 func (l *pollList) Snapshot() []string {
-	list := make([]string, 0, len(l.list))
-	for _, d := range l.list {
+	list := make([]string, 0, len(l.list)-l.head)
+	for _, d := range l.list[l.head:] {
 		list = append(list, d.Name)
 	}
 	return list

@@ -45,9 +45,15 @@ func NewEngine(eng *sim.Engine, core *cpu.Core, costs *netdev.Costs) *Engine {
 
 // Policy is the vanilla NAPI scheduling policy: two FIFO lists, tail
 // insertion everywhere, low-queue-only polling, no priority routing.
+//
+// The lists are head-indexed deques over reusable backing arrays: Next
+// advances head instead of reslicing, and Finish ping-pongs between two
+// retained arrays, so steady-state polling never touches the heap.
 type Policy struct {
-	global []*netdev.Device // POLL_LIST: devices added here when scheduled
-	local  []*netdev.Device // net_rx_action's working list
+	global  []*netdev.Device // POLL_LIST: devices added here when scheduled
+	local   []*netdev.Device // net_rx_action's working list
+	head    int              // index of local's first live entry
+	scratch []*netdev.Device // retained merge buffer for Finish
 }
 
 var _ softirq.PollPolicy = (*Policy)(nil)
@@ -63,6 +69,11 @@ func (p *Policy) Arrive(dev *netdev.Device, _ bool) {
 
 // Begin is Fig. 2 line 8: move POLL_LIST to the tail of poll_list.
 func (p *Policy) Begin() {
+	if p.head > 0 {
+		n := copy(p.local, p.local[p.head:])
+		p.local = p.local[:n]
+		p.head = 0
+	}
 	p.local = append(p.local, p.global...)
 	p.global = p.global[:0]
 }
@@ -70,11 +81,12 @@ func (p *Policy) Begin() {
 // Next pops the local working list's head; an empty local list ends the
 // run even if the global list refilled meanwhile.
 func (p *Policy) Next() *netdev.Device {
-	if len(p.local) == 0 {
+	if p.head >= len(p.local) {
 		return nil
 	}
-	dev := p.local[0]
-	p.local = p.local[1:]
+	dev := p.local[p.head]
+	p.local[p.head] = nil
+	p.head++
 	return dev
 }
 
@@ -89,15 +101,19 @@ func (p *Policy) Requeue(dev *netdev.Device) {
 }
 
 // Finish is the net_rx_action epilogue (Fig. 2 lines 21–24): remaining
-// local devices are prepended to the global list.
+// local devices are prepended to the global list. The merge writes into
+// the retained scratch array and swaps it with global's, so the two
+// backing arrays alternate roles and no round allocates once they've
+// grown to the working-set size.
 func (p *Policy) Finish() bool {
-	if len(p.local) > 0 {
-		merged := make([]*netdev.Device, 0, len(p.local)+len(p.global))
-		merged = append(merged, p.local...)
+	if rem := p.local[p.head:]; len(rem) > 0 {
+		merged := append(p.scratch[:0], rem...)
 		merged = append(merged, p.global...)
+		p.scratch = p.global[:0]
 		p.global = merged
-		p.local = nil
 	}
+	p.local = p.local[:0]
+	p.head = 0
 	return len(p.global) > 0
 }
 
@@ -122,8 +138,8 @@ func (p *Policy) Promote(*netdev.Device) {}
 // Snapshot renders the local list followed by the global list (the
 // paper's trace shows the same concatenated view).
 func (p *Policy) Snapshot() []string {
-	list := make([]string, 0, len(p.local)+len(p.global))
-	for _, d := range p.local {
+	list := make([]string, 0, len(p.local)-p.head+len(p.global))
+	for _, d := range p.local[p.head:] {
 		list = append(list, d.Name)
 	}
 	for _, d := range p.global {

@@ -68,6 +68,15 @@ const (
 	VerdictAbsorbed
 )
 
+// Sink consumes a delivered packet at its completion time. DeliverSKB takes
+// ownership of the SKB — the implementation must Free it (directly or after
+// detaching its frame buffer) — which is what lets delivery scheduling stay
+// allocation-free: the softirq passes a long-lived Sink plus the SKB through
+// sim.CallAt instead of building a per-packet closure.
+type Sink interface {
+	DeliverSKB(at sim.Time, skb *pkt.SKB)
+}
+
 // Result is the outcome of processing one packet at one stage.
 type Result struct {
 	Verdict Verdict
@@ -76,8 +85,13 @@ type Result struct {
 	// Next is the device receiving the packet when Verdict is
 	// VerdictForward.
 	Next *Device
-	// Deliver runs at the packet's stage-completion time when Verdict is
-	// VerdictDeliver. The callback must not reenter the engine
+	// Sink receives the packet at its stage-completion time when Verdict
+	// is VerdictDeliver — the allocation-free delivery path. It takes SKB
+	// ownership.
+	Sink Sink
+	// Deliver is the legacy closure form of VerdictDeliver, used where a
+	// per-packet callback is genuinely needed (synthetic test handlers).
+	// Ignored when Sink is set. The callback must not reenter the engine
 	// synchronously; it may schedule events.
 	Deliver func(now sim.Time)
 }

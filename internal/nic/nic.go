@@ -88,13 +88,25 @@ type NIC struct {
 	irqTimer     *sim.Event
 	firstPending sim.Time
 	lastIRQ      sim.Time
+	fireIRQFn    func() // bound once; scheduling a method value allocates
 
 	// GRO state: current merge run. A run ends on a flow change, the seg
-	// cap, or a time gap (batch boundary).
+	// cap, or a time gap (batch boundary). groGen snapshots the head's
+	// pool generation: the head is owned by downstream stages while the
+	// NIC holds this reference, so a generation mismatch means the SKB
+	// completed and was recycled — merging then would corrupt whatever
+	// packet reuses it.
 	groFlow pkt.FlowKey
 	groHead *pkt.SKB
+	groGen  uint32
 	groRun  int
 	groAt   sim.Time
+
+	// skbs and frames recycle the per-packet allocations of the receive
+	// path. DMA copies the wire bytes into a pooled frame — the model's
+	// descriptor-ring buffer — so callers may reuse their frame slices.
+	skbs   pkt.SKBPool
+	frames pkt.FramePool
 
 	nextID uint64
 
@@ -124,6 +136,7 @@ func New(eng *sim.Engine, sched netdev.Scheduler, costs *netdev.Costs, db *prio.
 		nextID:      cfg.FirstID,
 	}
 	n.Dev = netdev.NewDevice(cfg.Name, netdev.DriverNIC, netdev.HandlerFunc(n.handle), cfg.RingSize)
+	n.fireIRQFn = n.fireIRQ
 	return n
 }
 
@@ -135,9 +148,15 @@ func (n *NIC) AttachBridge(br *netdev.Device) { n.bridge = br }
 func (n *NIC) SetObs(p *obs.Pipeline) { n.obs = p }
 
 // DMA places a received frame into the RX ring at time now (the link layer
-// calls this) and drives interrupt moderation.
+// calls this) and drives interrupt moderation. The bytes are copied into a
+// pooled ring buffer, so the caller keeps ownership of frame and may reuse
+// its backing array immediately.
 func (n *NIC) DMA(now sim.Time, frame []byte) {
-	skb := &pkt.SKB{Data: frame, Arrived: now, ID: n.nextID, GROSegs: 1}
+	buf := n.frames.Get(len(frame))
+	copy(buf.B, frame)
+	skb := n.skbs.Get()
+	skb.SetFrame(buf)
+	skb.Arrived, skb.ID, skb.GROSegs = now, n.nextID, 1
 	n.nextID++
 	highRing := false
 	if n.cfg.PriorityRings {
@@ -165,6 +184,7 @@ func (n *NIC) DMA(now sim.Time, frame []byte) {
 		if n.obs != nil {
 			n.obs.Drop(now, n.Dev.Name, obs.StageDMA, skb.ID, skb.Priority)
 		}
+		skb.Free()
 		return
 	}
 	n.DMAd++
@@ -192,7 +212,7 @@ func (n *NIC) DMA(now sim.Time, frame []byte) {
 	n.pendingIRQ++
 	if n.pendingIRQ == 1 {
 		n.firstPending = now
-		n.irqTimer = n.eng.At(now+n.cfg.RxUsecs, n.fireIRQ)
+		n.irqTimer = n.eng.At(now+n.cfg.RxUsecs, n.fireIRQFn)
 	}
 	if n.pendingIRQ >= n.cfg.RxFrames {
 		n.fireIRQ()
@@ -280,7 +300,12 @@ func (n *NIC) handle(now sim.Time, skb *pkt.SKB) netdev.Result {
 	// gap of more than ~one batch overhead means a new poll batch started,
 	// which flushes the GRO table (napi_complete does this in Linux).
 	if n.cfg.GRO && flow.Proto == pkt.ProtoTCP {
-		fresh := n.groHead != nil && n.groFlow == flow && n.groRun < GROMaxSegs &&
+		// The generation check detects a head that completed downstream and
+		// was recycled since the last merge; growing it then would mutate
+		// whichever packet reuses the SKB (or a delivered one) — the
+		// use-after-free the kernel's flush-on-complete prevents.
+		fresh := n.groHead != nil && n.groHead.Gen() == n.groGen &&
+			n.groFlow == flow && n.groRun < GROMaxSegs &&
 			now-n.groAt <= groFlushGap
 		n.groAt = now
 		if fresh {
@@ -291,6 +316,7 @@ func (n *NIC) handle(now sim.Time, skb *pkt.SKB) netdev.Result {
 		}
 		n.groFlow = flow
 		n.groHead = skb
+		n.groGen = skb.Gen()
 		n.groRun = 1
 	} else {
 		n.groHead = nil

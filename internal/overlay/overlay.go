@@ -368,37 +368,37 @@ func ClientContainer(idx int, port uint16) RemoteEndpoint {
 // happens in syscall context — the paper leaves the egress path unchanged.
 func (c *Container) SendUDP(now sim.Time, dst RemoteEndpoint, srcPort uint16, payload []byte) {
 	h := c.host
-	c.Thread.Submit(now, h.Costs.AppTx, func(done sim.Time) {
-		inner := pkt.BuildUDPFrame(pkt.UDPFrameSpec{
-			SrcMAC: c.MAC, DstMAC: dst.MAC, SrcIP: c.IP, DstIP: dst.IP,
-			SrcPort: srcPort, DstPort: dst.Port, Payload: payload,
-		})
-		frame := pkt.Encapsulate(pkt.VXLANSpec{
-			OuterSrcMAC: ServerMAC, OuterDstMAC: ClientMAC,
-			OuterSrcIP: ServerIP, OuterDstIP: ClientIP,
-			SrcPort: entropyPort(c.IP, dst.IP, srcPort, dst.Port), VNI: VNI,
-		}, inner)
-		h.transmit(done, frame)
+	// Encode at call time: payload is only guaranteed valid while the
+	// caller (usually an OnMessage callback) runs — it may alias a pooled
+	// frame that is recycled as soon as the callback returns.
+	inner := pkt.BuildUDPFrame(pkt.UDPFrameSpec{
+		SrcMAC: c.MAC, DstMAC: dst.MAC, SrcIP: c.IP, DstIP: dst.IP,
+		SrcPort: srcPort, DstPort: dst.Port, Payload: payload,
 	})
+	frame := pkt.Encapsulate(pkt.VXLANSpec{
+		OuterSrcMAC: ServerMAC, OuterDstMAC: ClientMAC,
+		OuterSrcIP: ServerIP, OuterDstIP: ClientIP,
+		SrcPort: entropyPort(c.IP, dst.IP, srcPort, dst.Port), VNI: VNI,
+	}, inner)
+	c.Thread.Submit(now, h.Costs.AppTx, func(done sim.Time) { h.transmit(done, frame) })
 }
 
 // SendTCP transmits a TCP segment (reply data) from the container,
 // mirroring SendUDP.
 func (c *Container) SendTCP(now sim.Time, dst RemoteEndpoint, srcPort uint16, seq uint32, payload []byte) {
 	h := c.host
-	c.Thread.Submit(now, h.Costs.AppTx, func(done sim.Time) {
-		inner := pkt.BuildTCPFrame(pkt.TCPFrameSpec{
-			SrcMAC: c.MAC, DstMAC: dst.MAC, SrcIP: c.IP, DstIP: dst.IP,
-			SrcPort: srcPort, DstPort: dst.Port, Seq: seq,
-			Flags: pkt.TCPAck | pkt.TCPPsh, Payload: payload,
-		})
-		frame := pkt.Encapsulate(pkt.VXLANSpec{
-			OuterSrcMAC: ServerMAC, OuterDstMAC: ClientMAC,
-			OuterSrcIP: ServerIP, OuterDstIP: ClientIP,
-			SrcPort: entropyPort(c.IP, dst.IP, srcPort, dst.Port), VNI: VNI,
-		}, inner)
-		h.transmit(done, frame)
+	// Encoded at call time; see SendUDP.
+	inner := pkt.BuildTCPFrame(pkt.TCPFrameSpec{
+		SrcMAC: c.MAC, DstMAC: dst.MAC, SrcIP: c.IP, DstIP: dst.IP,
+		SrcPort: srcPort, DstPort: dst.Port, Seq: seq,
+		Flags: pkt.TCPAck | pkt.TCPPsh, Payload: payload,
 	})
+	frame := pkt.Encapsulate(pkt.VXLANSpec{
+		OuterSrcMAC: ServerMAC, OuterDstMAC: ClientMAC,
+		OuterSrcIP: ServerIP, OuterDstIP: ClientIP,
+		SrcPort: entropyPort(c.IP, dst.IP, srcPort, dst.Port), VNI: VNI,
+	}, inner)
+	c.Thread.Submit(now, h.Costs.AppTx, func(done sim.Time) { h.transmit(done, frame) })
 }
 
 // BindHost binds a server app on the host network (Fig. 10 experiments).
@@ -409,13 +409,12 @@ func (h *Host) BindHost(proto uint8, port uint16, app socket.App, recvCap int) (
 // SendHostUDP transmits a plain (non-encapsulated) UDP reply from a host
 // socket toward the client machine.
 func (h *Host) SendHostUDP(now sim.Time, dstPort, srcPort uint16, payload []byte) {
-	h.HostThread.Submit(now, h.Costs.AppTx, func(done sim.Time) {
-		frame := pkt.BuildUDPFrame(pkt.UDPFrameSpec{
-			SrcMAC: ServerMAC, DstMAC: ClientMAC, SrcIP: ServerIP, DstIP: ClientIP,
-			SrcPort: srcPort, DstPort: dstPort, Payload: payload,
-		})
-		h.transmit(done, frame)
+	// Encoded at call time; see Container.SendUDP.
+	frame := pkt.BuildUDPFrame(pkt.UDPFrameSpec{
+		SrcMAC: ServerMAC, DstMAC: ClientMAC, SrcIP: ServerIP, DstIP: ClientIP,
+		SrcPort: srcPort, DstPort: dstPort, Payload: payload,
 	})
+	h.HostThread.Submit(now, h.Costs.AppTx, func(done sim.Time) { h.transmit(done, frame) })
 }
 
 // entropyPort mimics the VXLAN source-port entropy hash (RFC 7348 §5).
@@ -456,6 +455,25 @@ func EncapTCPToServer(src RemoteEndpoint, dst *Container, dstPort uint16, seq ui
 		OuterSrcIP: ClientIP, OuterDstIP: ServerIP,
 		SrcPort: entropyPort(src.IP, dst.IP, src.Port, dstPort), VNI: VNI,
 	}, inner)
+}
+
+// EncapTCPToServerInto is EncapTCPToServer encoding into caller-provided
+// scratch: dst receives the outer frame, scratch holds the inner frame
+// while it is wrapped. Both are reused when their capacity allows. It
+// returns the encoded frame and the (possibly grown) inner scratch.
+func EncapTCPToServerInto(dst, scratch []byte, src RemoteEndpoint, dstC *Container,
+	dstPort uint16, seq uint32, payload []byte) (frame, inner []byte) {
+	inner = pkt.AppendTCPFrame(scratch, pkt.TCPFrameSpec{
+		SrcMAC: src.MAC, DstMAC: dstC.MAC, SrcIP: src.IP, DstIP: dstC.IP,
+		SrcPort: src.Port, DstPort: dstPort, Seq: seq,
+		Flags: pkt.TCPAck | pkt.TCPPsh, Payload: payload,
+	})
+	frame = pkt.EncapInto(dst, pkt.VXLANSpec{
+		OuterSrcMAC: ClientMAC, OuterDstMAC: ServerMAC,
+		OuterSrcIP: ClientIP, OuterDstIP: ServerIP,
+		SrcPort: entropyPort(src.IP, dstC.IP, src.Port, dstPort), VNI: VNI,
+	}, inner)
+	return frame, inner
 }
 
 // HostUDPToServer builds a plain client→server UDP frame for host-network

@@ -1,0 +1,141 @@
+package pkt
+
+// Pooling gives the hot path DPDK-mempool-style object reuse: the NIC Gets
+// an SKB plus a frame buffer per received packet, every intermediate stage
+// hands the same SKB on, and exactly one stage — whichever delivers, drops
+// or absorbs the packet — returns it with Free. Both pools are engine-local
+// like everything else on the datapath, so there are no locks; build with
+// -tags=pooldebug to poison freed buffers and catch use-after-put.
+// Ownership rules are documented in DESIGN.md.
+
+// frameClasses are the frame free-list size classes, in bytes. Get rounds
+// the requested length up to the next class so a 60-byte ping and a 92-byte
+// probe reuse the same buffers; requests beyond the largest class fall back
+// to one-off heap buffers that are not recycled.
+var frameClasses = [...]int{128, 256, 512, 1024, 2048, 4096}
+
+// Frame is a pooled frame buffer. B is the usable slice (len = requested
+// size, cap = the size class); the handle travels with the buffer so any
+// holder can Release it without knowing which pool it came from.
+type Frame struct {
+	B     []byte
+	pool  *FramePool
+	class int
+	freed bool
+}
+
+// Release returns the frame to its pool. Pool-less frames (the over-sized
+// fallback) are left to the GC. Releasing twice panics: a double-put would
+// hand the same buffer to two owners.
+func (f *Frame) Release() {
+	if f == nil {
+		return
+	}
+	if f.freed {
+		panic("pkt: frame double-put")
+	}
+	f.freed = true
+	if f.pool == nil {
+		return
+	}
+	poisonFrame(f)
+	p := f.pool
+	p.free[f.class] = append(p.free[f.class], f)
+}
+
+// FramePool recycles frame buffers through per-size-class free lists.
+type FramePool struct {
+	free [len(frameClasses)][]*Frame
+}
+
+// Get returns a frame buffer of length n, reusing a freed one of the same
+// size class when available.
+func (p *FramePool) Get(n int) *Frame {
+	for c, size := range frameClasses {
+		if n <= size {
+			if l := p.free[c]; len(l) > 0 {
+				f := l[len(l)-1]
+				l[len(l)-1] = nil
+				p.free[c] = l[:len(l)-1]
+				f.freed = false
+				f.B = f.B[:n]
+				return f
+			}
+			return &Frame{B: make([]byte, n, size), pool: p, class: c}
+		}
+	}
+	return &Frame{B: make([]byte, n)}
+}
+
+// SKBPool recycles SKBs through a free list. Put resets every field and
+// bumps the generation counter so stale references (the NIC's GRO head
+// across a flush gap) can detect that their SKB has been recycled.
+type SKBPool struct {
+	free []*SKB
+}
+
+// Get returns a zeroed SKB owned by this pool.
+func (p *SKBPool) Get() *SKB {
+	if n := len(p.free); n > 0 {
+		s := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		s.pooled = false
+		return s
+	}
+	return &SKB{owner: p}
+}
+
+// Put returns s to the free list, releasing its frame buffer first. Putting
+// twice, or into a pool that does not own the SKB, panics.
+func (p *SKBPool) Put(s *SKB) {
+	if s.owner != p {
+		panic("pkt: SKB returned to a foreign pool")
+	}
+	if s.pooled {
+		panic("pkt: SKB double-put")
+	}
+	if s.frame != nil {
+		s.frame.Release()
+	}
+	gen := s.gen + 1
+	*s = SKB{owner: p, gen: gen, pooled: true}
+	poisonSKB(s)
+	p.free = append(p.free, s)
+}
+
+// Free returns the SKB — and the frame buffer backing it, if any — to their
+// pools. The stage that delivers, drops or absorbs a packet owns it and
+// must Free exactly once; SKBs built without a pool (tests, generators,
+// synthetic testnet frames) only release their frame.
+func (s *SKB) Free() {
+	if s.owner == nil {
+		if s.frame != nil {
+			s.frame.Release()
+			s.frame = nil
+		}
+		return
+	}
+	s.owner.Put(s)
+}
+
+// Gen identifies this incarnation of a pooled SKB: it increments on every
+// Put, so a holder of a retained reference can verify the SKB it remembers
+// has not been recycled under it.
+func (s *SKB) Gen() uint32 { return s.gen }
+
+// SetFrame attaches a pooled frame buffer as the SKB's backing storage,
+// transferring its ownership to the SKB.
+func (s *SKB) SetFrame(f *Frame) {
+	s.frame = f
+	s.Data = f.B
+}
+
+// TakeFrame detaches and returns the backing frame buffer (nil when the SKB
+// is not frame-backed), transferring ownership to the caller. Delivery uses
+// it: the payload outlives the SKB by one application callback.
+func (s *SKB) TakeFrame() *Frame {
+	f := s.frame
+	s.frame = nil
+	return f
+}

@@ -52,6 +52,20 @@ type SKB struct {
 	// (1 for an unmerged packet). Downstream stages process a merged SKB
 	// once — the whole point of GRO.
 	GROSegs int
+
+	// Payload caches the TransportPayload slice of Data, set by the
+	// delivery stage when it validates the frame so the socket does not
+	// re-parse the headers. It aliases Data: valid exactly as long as the
+	// frame is, cleared when the SKB is recycled.
+	Payload []byte
+
+	// Pooling state (see pool.go). frame is the pooled buffer backing
+	// Data; owner is the SKBPool Free returns the SKB to; gen counts
+	// recycles; pooled guards against double-put.
+	frame  *Frame
+	owner  *SKBPool
+	gen    uint32
+	pooled bool
 }
 
 // Len returns the current frame length in bytes.
@@ -76,10 +90,24 @@ type UDPFrameSpec struct {
 	Payload          []byte
 }
 
+// sized returns dst resized to n bytes, reusing its backing array when the
+// capacity allows (the pooled hot path) and allocating only on overflow.
+func sized(dst []byte, n int) []byte {
+	if cap(dst) >= n {
+		return dst[:n]
+	}
+	return make([]byte, n)
+}
+
 // BuildUDPFrame encodes the spec into a complete Ethernet frame.
-func BuildUDPFrame(sp UDPFrameSpec) []byte {
+func BuildUDPFrame(sp UDPFrameSpec) []byte { return AppendUDPFrame(nil, sp) }
+
+// AppendUDPFrame is BuildUDPFrame writing into dst's backing array when it
+// has the capacity, allocating only on overflow. It returns the encoded
+// frame.
+func AppendUDPFrame(dst []byte, sp UDPFrameSpec) []byte {
 	total := EthHeaderLen + IPv4HeaderLen + UDPHeaderLen + len(sp.Payload)
-	b := make([]byte, total)
+	b := sized(dst, total)
 	off := PutEthernet(b, EthernetHeader{Dst: sp.DstMAC, Src: sp.SrcMAC, EtherType: EtherTypeIPv4})
 	off += PutIPv4(b[off:], IPv4Header{
 		TOS:      sp.TOS,
@@ -111,9 +139,13 @@ type TCPFrameSpec struct {
 }
 
 // BuildTCPFrame encodes the spec into a complete Ethernet frame.
-func BuildTCPFrame(sp TCPFrameSpec) []byte {
+func BuildTCPFrame(sp TCPFrameSpec) []byte { return AppendTCPFrame(nil, sp) }
+
+// AppendTCPFrame is BuildTCPFrame writing into dst's backing array when it
+// has the capacity, allocating only on overflow.
+func AppendTCPFrame(dst []byte, sp TCPFrameSpec) []byte {
 	total := EthHeaderLen + IPv4HeaderLen + TCPHeaderLen + len(sp.Payload)
-	b := make([]byte, total)
+	b := sized(dst, total)
 	off := PutEthernet(b, EthernetHeader{Dst: sp.DstMAC, Src: sp.SrcMAC, EtherType: EtherTypeIPv4})
 	off += PutIPv4(b[off:], IPv4Header{
 		TotalLen: uint16(IPv4HeaderLen + TCPHeaderLen + len(sp.Payload)),
@@ -146,9 +178,13 @@ type VXLANSpec struct {
 
 // Encapsulate wraps inner (a complete Ethernet frame) in outer
 // Ethernet+IPv4+UDP+VXLAN headers, as the VXLAN egress path does.
-func Encapsulate(sp VXLANSpec, inner []byte) []byte {
+func Encapsulate(sp VXLANSpec, inner []byte) []byte { return EncapInto(nil, sp, inner) }
+
+// EncapInto is Encapsulate writing into dst's backing array when it has the
+// capacity, allocating only on overflow. inner must not alias dst.
+func EncapInto(dst []byte, sp VXLANSpec, inner []byte) []byte {
 	outerLen := EthHeaderLen + IPv4HeaderLen + UDPHeaderLen + VXLANHeaderLen
-	b := make([]byte, outerLen+len(inner))
+	b := sized(dst, outerLen+len(inner))
 	off := PutEthernet(b, EthernetHeader{Dst: sp.OuterDstMAC, Src: sp.OuterSrcMAC, EtherType: EtherTypeIPv4})
 	off += PutIPv4(b[off:], IPv4Header{
 		TotalLen: uint16(IPv4HeaderLen + UDPHeaderLen + VXLANHeaderLen + len(inner)),
@@ -193,12 +229,18 @@ func Decapsulate(frame []byte) (vni uint32, inner []byte, err error) {
 	if udp.DstPort != VXLANPort {
 		return 0, nil, fmt.Errorf("pkt: outer UDP port %d is not VXLAN", udp.DstPort)
 	}
+	if int(udp.Length) < UDPHeaderLen+VXLANHeaderLen {
+		return 0, nil, fmt.Errorf("pkt: outer UDP length %d too short for VXLAN", udp.Length)
+	}
 	vxOff := udpOff + UDPHeaderLen
 	vx, err := ParseVXLAN(frame[vxOff:])
 	if err != nil {
 		return 0, nil, err
 	}
-	return vx.VNI, frame[vxOff+VXLANHeaderLen:], nil
+	// Bound the inner frame by the outer UDP datagram length, not the wire
+	// frame length: a minimum-size Ethernet frame arrives padded to 60
+	// bytes, and the pad after the datagram is not part of the inner frame.
+	return vx.VNI, frame[vxOff+VXLANHeaderLen : udpOff+int(udp.Length)], nil
 }
 
 // IsVXLAN reports whether frame looks like a VXLAN-encapsulated packet,

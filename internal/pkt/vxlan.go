@@ -10,6 +10,10 @@ const (
 	VXLANHeaderLen = 8
 	VXLANPort      = 4789 // IANA-assigned UDP destination port
 	vxlanFlagVNI   = 0x08 // "I" flag: VNI field is valid
+
+	// VXLANOverhead is the encapsulation cost per inner frame: the outer
+	// Ethernet, IPv4, and UDP headers plus the VXLAN header itself.
+	VXLANOverhead = EthHeaderLen + IPv4HeaderLen + UDPHeaderLen + VXLANHeaderLen
 )
 
 // VXLANHeader is the 8-byte VXLAN header.

@@ -36,10 +36,35 @@ func NewThread(name string, eng *sim.Engine, core *cpu.Core, wakeup sim.Time) *T
 // Core returns the thread's core.
 func (t *Thread) Core() *cpu.Core { return t.core }
 
+// Runner is a work item that receives its completion time. SubmitTo
+// schedules one without the per-submit closure Submit costs: a long-lived
+// Runner (a socket draining its own message queue) makes the handoff
+// allocation-free.
+type Runner interface {
+	Run(done sim.Time)
+}
+
 // Submit enqueues cost worth of work triggered at now. fn, if non-nil,
 // runs when the work completes, receiving the completion time. Work items
 // execute serially in submission order.
 func (t *Thread) Submit(now sim.Time, cost sim.Time, fn func(done sim.Time)) {
+	done := t.schedule(now, cost)
+	if fn != nil {
+		t.eng.CallAt(done, runFn, fn, nil)
+	}
+}
+
+// SubmitTo is Submit for a Runner: same serial accounting, no closure.
+func (t *Thread) SubmitTo(now sim.Time, cost sim.Time, r Runner) {
+	done := t.schedule(now, cost)
+	if r != nil {
+		t.eng.CallAt(done, runRunner, r, nil)
+	}
+}
+
+// schedule charges the work on the core (plus a wakeup when the thread was
+// blocked) and returns its completion time.
+func (t *Thread) schedule(now, cost sim.Time) sim.Time {
 	t.Jobs++
 	wasIdle := t.core.IdleAt(now)
 	start := t.core.Acquire(now)
@@ -47,8 +72,9 @@ func (t *Thread) Submit(now sim.Time, cost sim.Time, fn func(done sim.Time)) {
 		t.WakeupCount++
 		start = t.core.Consume(start, t.wakeup)
 	}
-	done := t.core.Consume(start, cost)
-	if fn != nil {
-		t.eng.At(done, func() { fn(done) })
-	}
+	return t.core.Consume(start, cost)
 }
+
+func runFn(done sim.Time, a1, _ any) { a1.(func(sim.Time))(done) }
+
+func runRunner(done sim.Time, a1, _ any) { a1.(Runner).Run(done) }

@@ -7,9 +7,15 @@ import (
 )
 
 // Event is a unit of future work. Fn runs when the virtual clock reaches At.
+// Fired and cancelled events are recycled through a per-engine free list, so
+// a *Event handle is only valid until the event fires or its cancellation is
+// collected — exactly the lifetime timer handles have in the kernel.
 type Event struct {
 	At   Time
 	Fn   func()
+	fn2  func(Time, any, any) // CallAt form: top-level fn + args, no closure
+	a1   any
+	a2   any
 	seq  uint64 // tie-break: FIFO among equal timestamps
 	idx  int    // heap index, -1 once popped or cancelled
 	dead bool   // cancelled
@@ -57,6 +63,7 @@ var ErrHalted = errors.New("sim: halted")
 type Engine struct {
 	now    Time
 	queue  eventHeap
+	free   []*Event // recycled event records
 	seq    uint64
 	halted bool
 	rng    *RNG
@@ -88,6 +95,26 @@ func (e *Engine) Pending() int {
 	return n
 }
 
+// alloc pops a recycled event record or allocates a fresh one.
+func (e *Engine) alloc() *Event {
+	if n := len(e.free); n > 0 {
+		ev := e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		ev.dead = false
+		return ev
+	}
+	return &Event{}
+}
+
+// release returns a fired or collected-cancelled event to the free list.
+// Callers must have dropped or rewritten every handle to it by now; ev.dead
+// stays true so a straggler's Cancel before reuse remains a no-op.
+func (e *Engine) release(ev *Event) {
+	ev.Fn, ev.fn2, ev.a1, ev.a2 = nil, nil, nil, nil
+	e.free = append(e.free, ev)
+}
+
 // At schedules fn to run at absolute virtual time t. Scheduling in the past
 // panics: it is always a model bug, and silently clamping it would hide
 // causality violations.
@@ -95,7 +122,24 @@ func (e *Engine) At(t Time, fn func()) *Event {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling at %v before now %v", t, e.now))
 	}
-	ev := &Event{At: t, Fn: fn, seq: e.seq}
+	ev := e.alloc()
+	ev.At, ev.Fn, ev.seq = t, fn, e.seq
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// CallAt schedules fn(at, a1, a2) at absolute virtual time t. It is the
+// allocation-free form of At for the hot path: with fn a top-level function
+// and pointer-shaped arguments, scheduling reuses a recycled event record
+// and allocates nothing, where a capturing closure passed to At costs one
+// allocation per call.
+func (e *Engine) CallAt(t Time, fn func(Time, any, any), a1, a2 any) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling at %v before now %v", t, e.now))
+	}
+	ev := e.alloc()
+	ev.At, ev.fn2, ev.a1, ev.a2, ev.seq = t, fn, a1, a2, e.seq
 	e.seq++
 	heap.Push(&e.queue, ev)
 	return ev
@@ -110,13 +154,14 @@ func (e *Engine) After(d Time, fn func()) *Event {
 }
 
 // Cancel marks ev so it will not fire. Cancelling an already-fired or
-// already-cancelled event is a no-op.
+// already-cancelled event is a no-op. The record is recycled when the heap
+// pops it, so the caller must drop the handle after cancelling.
 func (e *Engine) Cancel(ev *Event) {
 	if ev == nil || ev.dead {
 		return
 	}
 	ev.dead = true
-	ev.Fn = nil
+	ev.Fn, ev.fn2, ev.a1, ev.a2 = nil, nil, nil, nil
 }
 
 // Halt stops Run before the horizon. Pending events are left in the queue.
@@ -128,14 +173,22 @@ func (e *Engine) Step() bool {
 	for len(e.queue) > 0 {
 		ev := heap.Pop(&e.queue).(*Event)
 		if ev.dead {
+			e.release(ev)
 			continue
 		}
 		e.now = ev.At
-		fn := ev.Fn
+		fn, fn2, a1, a2 := ev.Fn, ev.fn2, ev.a1, ev.a2
 		ev.Fn = nil
 		ev.dead = true
 		e.Executed++
-		fn()
+		if fn2 != nil {
+			fn2(e.now, a1, a2)
+		} else {
+			fn()
+		}
+		// Recycle only after the callback: it may hold ev's handle (a
+		// timer re-arming itself) and must see it dead, not reused.
+		e.release(ev)
 		return true
 	}
 	return false
@@ -210,7 +263,7 @@ func (e *Engine) peek() (*Event, bool) {
 		if ev := e.queue[0]; !ev.dead {
 			return ev, true
 		}
-		heap.Pop(&e.queue)
+		e.release(heap.Pop(&e.queue).(*Event))
 	}
 	return nil, false
 }

@@ -2,7 +2,6 @@ package socket
 
 import (
 	"prism/internal/netdev"
-	"prism/internal/obs"
 	"prism/internal/pkt"
 	"prism/internal/sim"
 )
@@ -10,8 +9,10 @@ import (
 // DeliverToTable finishes protocol processing for a frame addressed to a
 // local socket table and produces the stage result. It is the tail of both
 // the host path (from the NIC stage) and the container path (from the veth
-// stage): transport demux, payload extraction, and the deferred copy into
-// the socket buffer at the packet's completion time.
+// stage): transport demux and payload validation happen here, at handler
+// time — so drops are attributed to the stage — and the socket itself is
+// the result's Sink, consuming the SKB at its completion time without a
+// per-packet closure.
 func DeliverToTable(tbl *Table, cost sim.Time, skb *pkt.SKB) netdev.Result {
 	if tbl == nil {
 		return netdev.Result{Verdict: netdev.VerdictDrop, Cost: cost}
@@ -25,29 +26,6 @@ func DeliverToTable(tbl *Table, cost sim.Time, skb *pkt.SKB) netdev.Result {
 	if err != nil {
 		return netdev.Result{Verdict: netdev.VerdictDrop, Cost: cost}
 	}
-	msg := Message{
-		Payload:      payload,
-		From:         skb.Flow,
-		Arrived:      skb.Arrived,
-		HighPriority: skb.HighPriority,
-	}
-	// Capture the packet identity now: the SKB is the softirq's and may be
-	// reused by the time the deferred copy runs.
-	id, prio := skb.ID, skb.Priority
-	return netdev.Result{
-		Verdict: netdev.VerdictDeliver,
-		Cost:    cost,
-		Deliver: func(at sim.Time) {
-			msg.Delivered = at
-			ok := sock.Deliver(at, msg)
-			if tbl.Obs == nil {
-				return
-			}
-			if ok {
-				tbl.Obs.Deliver(at, tbl.Name, id, prio, msg.Arrived)
-			} else {
-				tbl.Obs.Drop(at, tbl.Name, obs.StageSocket, id, prio)
-			}
-		},
-	}
+	skb.Payload = payload
+	return netdev.Result{Verdict: netdev.VerdictDeliver, Cost: cost, Sink: sock}
 }

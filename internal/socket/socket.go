@@ -41,32 +41,102 @@ type Socket struct {
 
 	Thread *sched.Thread
 	app    App
+	tbl    *Table // owning table, for delivery observability
 
 	// RecvCap bounds the receive buffer in messages; beyond it packets are
 	// dropped (rcvbuf overflow) — visible in /proc/net/udp as drops.
 	RecvCap int
+
+	// pending is the receive buffer: a head-indexed FIFO of messages
+	// waiting for the app thread, each with the pooled frame backing its
+	// payload (released after OnMessage returns). The backing array is
+	// reused across messages, so a steady-state socket never allocates.
+	pending []pendingMsg
+	head    int
 
 	queued  int
 	Drops   uint64
 	Receivd uint64
 }
 
+type pendingMsg struct {
+	m Message
+	f *pkt.Frame
+}
+
 // Deliver hands a message from softirq context to the socket: it charges
 // nothing on the processing core (the copy cost is part of the stage cost)
 // and schedules the app thread. It reports false on rcvbuf overflow.
-func (s *Socket) Deliver(now sim.Time, m Message) bool {
+func (s *Socket) Deliver(now sim.Time, m Message) bool { return s.push(now, m, nil) }
+
+// DeliverSKB implements netdev.Sink: the softirq hands the packet over at
+// its completion time, transferring SKB ownership. The frame buffer backs
+// the message payload until OnMessage returns; the SKB itself is freed
+// here.
+func (s *Socket) DeliverSKB(at sim.Time, skb *pkt.SKB) {
+	payload := skb.Payload
+	if payload == nil {
+		var err error
+		payload, err = pkt.TransportPayload(skb.Data)
+		if err != nil {
+			// The handler validated the frame before returning VerdictDeliver;
+			// failing now means the bytes changed in flight (use-after-put).
+			panic("socket: payload vanished between handler and delivery: " + err.Error())
+		}
+	}
+	m := Message{
+		Payload:      payload,
+		From:         skb.Flow,
+		Arrived:      skb.Arrived,
+		Delivered:    at,
+		HighPriority: skb.HighPriority,
+	}
+	id, prio := skb.ID, skb.Priority
+	f := skb.TakeFrame()
+	skb.Free()
+	ok := s.push(at, m, f)
+	if s.tbl == nil || s.tbl.Obs == nil {
+		return
+	}
+	if ok {
+		s.tbl.Obs.Deliver(at, s.tbl.Name, id, prio, m.Arrived)
+	} else {
+		s.tbl.Obs.Drop(at, s.tbl.Name, obs.StageSocket, id, prio)
+	}
+}
+
+func (s *Socket) push(now sim.Time, m Message, f *pkt.Frame) bool {
 	if s.RecvCap > 0 && s.queued >= s.RecvCap {
 		s.Drops++
+		if f != nil {
+			f.Release()
+		}
 		return false
 	}
 	s.queued++
 	s.Receivd++
-	cost := s.app.ProcessingCost(m)
-	s.Thread.Submit(now, cost, func(done sim.Time) {
-		s.queued--
-		s.app.OnMessage(done, m)
-	})
+	if s.head > 0 && s.head == len(s.pending) {
+		// Drained: rewind so append reuses the backing array.
+		s.pending = s.pending[:0]
+		s.head = 0
+	}
+	s.pending = append(s.pending, pendingMsg{m: m, f: f})
+	s.Thread.SubmitTo(now, s.app.ProcessingCost(m), s)
 	return true
+}
+
+// Run implements sched.Runner: the app-thread completion path. The thread
+// executes work serially in submission order, so this run's message is the
+// pending FIFO's head.
+func (s *Socket) Run(done sim.Time) {
+	p := s.pending[s.head]
+	s.pending[s.head] = pendingMsg{}
+	s.head++
+	s.queued--
+	s.app.OnMessage(done, p.m)
+	if p.f != nil {
+		p.f.Release()
+	}
 }
 
 type bindKey struct {
@@ -97,7 +167,7 @@ func (t *Table) Bind(proto uint8, port uint16, thread *sched.Thread, app App, re
 	if _, taken := t.socks[k]; taken {
 		return nil, fmt.Errorf("socket: %s port %d/%d already bound", t.Name, proto, port)
 	}
-	s := &Socket{Proto: uint16(proto), Port: port, Thread: thread, app: app, RecvCap: recvCap}
+	s := &Socket{Proto: uint16(proto), Port: port, Thread: thread, app: app, tbl: t, RecvCap: recvCap}
 	t.socks[k] = s
 	return s, nil
 }

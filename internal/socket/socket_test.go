@@ -136,11 +136,15 @@ func TestDeliverToTable(t *testing.T) {
 	if _, err := tbl.Bind(pkt.ProtoUDP, 5555, th, app, 0); err != nil {
 		t.Fatal(err)
 	}
-	res := DeliverToTable(tbl, 700, buildSKB(t, 5555))
+	skb := buildSKB(t, 5555)
+	res := DeliverToTable(tbl, 700, skb)
 	if res.Verdict != netdev.VerdictDeliver || res.Cost != 700 {
 		t.Fatalf("result = %+v", res)
 	}
-	eng.At(1000, func() { res.Deliver(1000) })
+	if res.Sink == nil {
+		t.Fatal("deliver result has no sink")
+	}
+	eng.At(1000, func() { res.Sink.DeliverSKB(1000, skb) })
 	if err := eng.RunUntilIdle(); err != nil {
 		t.Fatal(err)
 	}

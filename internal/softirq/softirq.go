@@ -140,6 +140,12 @@ type Engine struct {
 	// comes from.
 	lastStage *netdev.Device
 
+	// runSoftirqFn / pollNextFn are the raise and loop continuations,
+	// bound once at construction: scheduling a method value through
+	// Engine.At would otherwise allocate a fresh closure per batch.
+	runSoftirqFn func()
+	pollNextFn   func()
+
 	stats Stats
 
 	// OnPoll, when set, is invoked once per device-poll iteration.
@@ -155,7 +161,10 @@ var _ netdev.Scheduler = (*Engine)(nil)
 // New returns an engine running the given poll policy on a core. Each
 // engine needs its own policy instance (policies hold per-CPU state).
 func New(eng *sim.Engine, core *cpu.Core, costs *netdev.Costs, policy PollPolicy) *Engine {
-	return &Engine{eng: eng, core: core, costs: costs, policy: policy}
+	e := &Engine{eng: eng, core: core, costs: costs, policy: policy}
+	e.runSoftirqFn = e.runSoftirq
+	e.pollNextFn = e.pollNext
+	return e
 }
 
 // Stats returns a copy of the engine counters.
@@ -198,7 +207,7 @@ func (e *Engine) raise() {
 		return
 	}
 	e.pending = true
-	e.eng.At(e.core.BusyUntil(), e.runSoftirq)
+	e.eng.At(e.core.BusyUntil(), e.runSoftirqFn)
 }
 
 // reraise schedules another net_rx_action after the softirq yields
@@ -208,7 +217,7 @@ func (e *Engine) reraise(now sim.Time) {
 		return
 	}
 	e.pending = true
-	e.eng.At(now+e.costs.SoftirqRestart, e.runSoftirq)
+	e.eng.At(now+e.costs.SoftirqRestart, e.runSoftirqFn)
 }
 
 // runSoftirq is net_rx_action: open the run and start the polling loop.
@@ -251,7 +260,7 @@ func (e *Engine) pollNext() {
 	// policy wants it; a drained device completes NAPI (IRQs back on).
 	e.policy.Requeue(dev)
 	e.observe(now, dev)
-	e.eng.At(end, e.pollNext)
+	e.eng.At(end, e.pollNextFn)
 }
 
 // finish is the net_rx_action epilogue: the policy reconciles its lists
@@ -349,6 +358,7 @@ func (e *Engine) applyTransition(dev *netdev.Device, skb *pkt.SKB, res netdev.Re
 				if e.obs != nil {
 					e.obs.Drop(t, next.Name, next.Kind.StageName(), skb.ID, skb.Priority)
 				}
+				skb.Free()
 				return t
 			}
 			if next.InPollList {
@@ -364,7 +374,10 @@ func (e *Engine) applyTransition(dev *netdev.Device, skb *pkt.SKB, res netdev.Re
 		case netdev.VerdictDeliver:
 			skb.Delivered = t
 			e.stats.Delivered++
-			if res.Deliver != nil {
+			if res.Sink != nil {
+				// Ownership transfers to the sink, which frees the SKB.
+				e.eng.CallAt(t, runSink, res.Sink, skb)
+			} else if res.Deliver != nil {
 				deliver := res.Deliver
 				done := t
 				e.eng.At(done, func() { deliver(done) })
@@ -375,17 +388,25 @@ func (e *Engine) applyTransition(dev *netdev.Device, skb *pkt.SKB, res netdev.Re
 			if e.obs != nil {
 				e.obs.Drop(t, cur.Name, cur.Kind.StageName(), skb.ID, skb.Priority)
 			}
+			skb.Free()
 			return t
 		case netdev.VerdictAbsorbed:
 			// GRO merged the frame into an earlier SKB; nothing to route.
 			if e.obs != nil {
 				e.obs.Absorbed(t, cur.Name, skb.ID, skb.Priority)
 			}
+			skb.Free()
 			return t
 		default:
 			panic("softirq: handler returned invalid verdict")
 		}
 	}
+}
+
+// runSink is the scheduled-delivery trampoline: a top-level function, so
+// CallAt needs no per-packet closure.
+func runSink(at sim.Time, a1, a2 any) {
+	a1.(netdev.Sink).DeliverSKB(at, a2.(*pkt.SKB))
 }
 
 // observe reports one loop iteration to the trace hook.

@@ -162,6 +162,14 @@ func (h *Histogram) Quantile(q float64) sim.Time {
 	return sim.Time(h.max)
 }
 
+// Percentile returns the value at percentile p on the 0–100 scale the
+// paper's tables use: Percentile(0) is the exact Min, Percentile(100) the
+// exact Max, and out-of-range p is clamped to those endpoints. An empty
+// histogram returns 0 for every p.
+func (h *Histogram) Percentile(p float64) sim.Time {
+	return h.Quantile(p / 100)
+}
+
 // Median is Quantile(0.5).
 func (h *Histogram) Median() sim.Time { return h.Quantile(0.5) }
 

@@ -38,6 +38,40 @@ func TestHistogramSingleValue(t *testing.T) {
 	}
 }
 
+func TestHistogramPercentile(t *testing.T) {
+	scale := NewHistogram()
+	for i := 1; i <= 100; i++ {
+		scale.Record(sim.Time(i))
+	}
+	single := NewHistogram()
+	single.Record(42)
+
+	tests := []struct {
+		name string
+		h    *Histogram
+		p    float64
+		want sim.Time
+	}{
+		{"empty returns zero", NewHistogram(), 50, 0},
+		{"empty min", NewHistogram(), 0, 0},
+		{"empty max", NewHistogram(), 100, 0},
+		{"zero is exact min", scale, 0, 1},
+		{"hundred is exact max", scale, 100, 100},
+		{"median nearest rank", scale, 50, 50},
+		{"p99", scale, 99, 99},
+		{"below range clamps to min", scale, -5, 1},
+		{"above range clamps to max", scale, 150, 100},
+		{"single value any p", single, 73, 42},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.h.Percentile(tc.p); got != tc.want {
+				t.Errorf("Percentile(%v) = %v, want %v", tc.p, got, tc.want)
+			}
+		})
+	}
+}
+
 func TestHistogramSmallValuesExact(t *testing.T) {
 	// Values below subBuckets are recorded exactly.
 	h := NewHistogram()

@@ -1,0 +1,129 @@
+package testbed
+
+import (
+	"strings"
+	"testing"
+
+	"prism/internal/obs"
+	"prism/internal/overlay"
+	"prism/internal/prio"
+	"prism/internal/sim"
+)
+
+func TestMonolithicTopology(t *testing.T) {
+	pipe := obs.NewPipeline("host")
+	tb := New(Spec{Split: Monolithic, Seed: 1, Mode: prio.ModeVanilla, Pipe: pipe})
+	if tb.Eng == nil {
+		t.Fatal("monolithic testbed has no engine")
+	}
+	if tb.Group != nil || tb.ClientShard != nil || tb.ServerShards != nil {
+		t.Error("monolithic testbed grew shards")
+	}
+	if len(tb.Hosts) != 1 {
+		t.Fatalf("hosts = %d, want 1", len(tb.Hosts))
+	}
+	if tb.Pipe() != pipe {
+		t.Error("caller's pipeline not installed")
+	}
+	if tb.ClientEng() != tb.Eng {
+		t.Error("ClientEng is not the single engine")
+	}
+	if tb.Inject(0) != nil {
+		t.Error("monolithic Inject hook should be nil (generators use the host engine)")
+	}
+}
+
+func TestWireSplitTopology(t *testing.T) {
+	tb := New(Spec{Split: WireSplit, Seed: 1, Mode: prio.ModeVanilla})
+	if tb.Eng != nil {
+		t.Error("wire-split testbed kept a monolithic engine")
+	}
+	if tb.Group == nil || tb.ClientShard == nil {
+		t.Fatal("wire-split testbed has no shards")
+	}
+	if len(tb.ServerShards) != 1 || len(tb.Hosts) != 1 {
+		t.Fatalf("server shards/hosts = %d/%d, want 1/1", len(tb.ServerShards), len(tb.Hosts))
+	}
+	if tb.Pipe() == nil {
+		t.Error("wire split must build its own pipeline when the Spec has none")
+	}
+	if tb.ClientEng() != tb.ClientShard.Eng {
+		t.Error("ClientEng is not the client shard's engine")
+	}
+	if tb.Inject(0) == nil {
+		t.Error("wire-split Inject hook is nil")
+	}
+	if tb.Host().WireTx == nil {
+		t.Error("server host does not transmit over the cross-shard wire")
+	}
+}
+
+func TestRSSSplitTopology(t *testing.T) {
+	tb := New(Spec{Split: RSSSplit, Seed: 1, Mode: prio.ModeBatch, RxQueues: 2})
+	if len(tb.ServerShards) != 2 || len(tb.Hosts) != 2 || len(tb.Pipes) != 2 {
+		t.Fatalf("shards/hosts/pipes = %d/%d/%d, want 2/2/2",
+			len(tb.ServerShards), len(tb.Hosts), len(tb.Pipes))
+	}
+	for q, s := range tb.ServerShards {
+		if want := "rxq"; !strings.HasPrefix(s.Name, want) {
+			t.Errorf("shard %d name = %q", q, s.Name)
+		}
+	}
+	// RxQueues < 1 still builds one queue shard.
+	if tb := New(Spec{Split: RSSSplit, Seed: 1}); len(tb.Hosts) != 1 {
+		t.Errorf("zero RxQueues built %d hosts, want 1", len(tb.Hosts))
+	}
+}
+
+func TestRSSInjectPanicsOnMisSteeredFlow(t *testing.T) {
+	tb := New(Spec{Split: RSSSplit, Seed: 1, RxQueues: 2})
+	frame := overlay.HostUDPToServer(4000, 5000, []byte("x"))
+	q := tb.QueueFor(frame)
+	inject := tb.Inject(1 - q)
+	defer func() {
+		if recover() == nil {
+			t.Error("mis-steered inject did not panic")
+		}
+	}()
+	inject(0, 1000, frame)
+}
+
+func TestBatchSizeAppliedAfterBuild(t *testing.T) {
+	// The override must be applied to every host after construction, so it
+	// wins regardless of where the Costs came from.
+	tb := New(Spec{Split: RSSSplit, Seed: 1, RxQueues: 2, BatchSize: 16})
+	for i, h := range tb.Hosts {
+		if h.Costs.BatchSize != 16 {
+			t.Errorf("host %d BatchSize = %d, want 16", i, h.Costs.BatchSize)
+		}
+	}
+}
+
+func TestUnknownSplitPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown split did not panic")
+		}
+	}()
+	New(Spec{Split: Split(99)})
+}
+
+func TestMonolithicRunDeterministic(t *testing.T) {
+	run := func() uint64 {
+		tb := New(Spec{Split: Monolithic, Seed: 7, Mode: prio.ModeVanilla})
+		host := tb.Host()
+		// Drive a handful of host-path frames through the full pipeline.
+		for i := 0; i < 5; i++ {
+			frame := overlay.HostUDPToServer(4000, 5000, []byte{byte(i)})
+			at := sim.Time(1000 * (i + 1))
+			tb.Eng.At(at, func() { host.InjectFromWire(at, frame) })
+		}
+		if err := tb.Run(0, sim.Time(1_000_000), 1); err != nil {
+			t.Fatal(err)
+		}
+		return host.Rx.Stats().Packets
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("same Spec produced different packet counts: %d vs %d", a, b)
+	}
+}

@@ -40,6 +40,11 @@ type UDPFlood struct {
 	Delivered *stats.RateCounter
 	Sent      uint64
 
+	// frame is the wire frame, encoded once at the first burst: every
+	// flood packet is byte-identical (zero payload, fixed flow), and the
+	// NIC's DMA copies it, so one buffer serves the whole run.
+	frame   []byte
+	emitFn  func()
 	stopped bool
 }
 
@@ -76,24 +81,34 @@ func (f *UDPFlood) Start(at sim.Time) {
 	if f.Rate <= 0 {
 		return
 	}
-	f.Eng.At(at, f.emitBurst)
+	f.emitFn = f.emitBurst
+	f.Eng.At(at, f.emitFn)
 }
 
 // Stop ceases emission after the current burst.
 func (f *UDPFlood) Stop() { f.stopped = true }
+
+// injectFlood delivers one flood frame to the wire — a top-level function
+// so the per-packet schedule (sim.CallAt) allocates nothing.
+func injectFlood(at sim.Time, a1, _ any) {
+	f := a1.(*UDPFlood)
+	f.Host.InjectFromWire(at, f.frame)
+}
 
 func (f *UDPFlood) emitBurst() {
 	if f.stopped {
 		return
 	}
 	now := f.Eng.Now()
-	payload := make([]byte, f.PayloadLen)
-	var frame []byte
-	if f.Target != nil {
-		frame = overlay.EncapToServer(f.Src, f.Target, f.DstPort, payload)
-	} else {
-		frame = overlay.HostUDPToServer(f.Src.Port, f.DstPort, payload)
+	if f.frame == nil {
+		payload := make([]byte, f.PayloadLen)
+		if f.Target != nil {
+			f.frame = overlay.EncapToServer(f.Src, f.Target, f.DstPort, payload)
+		} else {
+			f.frame = overlay.HostUDPToServer(f.Src.Port, f.DstPort, payload)
+		}
 	}
+	frame := f.frame
 	ser := f.Host.Costs.Serialization(len(frame))
 	arrive := now + f.Host.Costs.WireLatency
 	for i := 0; i < f.Burst; i++ {
@@ -101,8 +116,7 @@ func (f *UDPFlood) emitBurst() {
 		if f.Inject != nil {
 			f.Inject(now, at, frame)
 		} else {
-			fr := frame
-			f.Eng.At(at, func() { f.Host.InjectFromWire(f.Eng.Now(), fr) })
+			f.Eng.CallAt(at, injectFlood, f, nil)
 		}
 		f.Sent++
 	}
@@ -119,7 +133,10 @@ func (f *UDPFlood) emitBurst() {
 	if gap < 1 {
 		gap = 1
 	}
-	f.Eng.At(now+gap, f.emitBurst)
+	if f.emitFn == nil {
+		f.emitFn = f.emitBurst
+	}
+	f.Eng.At(now+gap, f.emitFn)
 }
 
 // TCPStream is the sockperf TCP throughput mode used as Fig. 13's
@@ -149,6 +166,16 @@ type TCPStream struct {
 
 	seq     uint32
 	stopped bool
+
+	// Segment frames live from encode until the NIC's DMA copy, so a
+	// whole message's train is in flight at once; a free-list pool keeps
+	// that from costing one heap frame per segment. payload and inner are
+	// encode scratch reused across segments (payload is all zeros; inner
+	// is consumed by EncapInto before the next segment overwrites it).
+	pool    pkt.FramePool
+	payload []byte
+	inner   []byte
+	emitFn  func()
 }
 
 // NewTCPStream constructs the Fig. 13 background: 64 KB messages.
@@ -184,11 +211,48 @@ func (t *TCPStream) Start(at sim.Time) {
 	if t.MsgRate <= 0 {
 		return
 	}
-	t.Eng.At(at, t.emitMessage)
+	t.emitFn = t.emitMessage
+	t.Eng.At(at, t.emitFn)
 }
 
 // Stop ceases emission after the current message.
 func (t *TCPStream) Stop() { t.stopped = true }
+
+// injectStreamFrame hands one pooled TCP segment to the wire and returns
+// the buffer; the NIC's DMA has copied it by the time InjectFromWire
+// returns, so the release is safe. Top-level for sim.CallAt.
+func injectStreamFrame(at sim.Time, a1, a2 any) {
+	t := a1.(*TCPStream)
+	buf := a2.(*pkt.Frame)
+	t.Host.InjectFromWire(at, buf.B)
+	buf.Release()
+}
+
+// encodeSegment writes one MSS-sized segment into a pooled frame buffer.
+// The cross-shard Inject path never lands here — it needs a retained
+// frame, not a recycled one.
+func (t *TCPStream) encodeSegment(size int) *pkt.Frame {
+	if cap(t.payload) < t.MSS {
+		t.payload = make([]byte, t.MSS)
+	}
+	payload := t.payload[:size]
+	innerLen := pkt.EthHeaderLen + pkt.IPv4HeaderLen + pkt.TCPHeaderLen + size
+	if t.Target != nil {
+		buf := t.pool.Get(innerLen + pkt.VXLANOverhead)
+		frame, inner := overlay.EncapTCPToServerInto(buf.B, t.inner,
+			t.Src, t.Target, t.DstPort, t.seq, payload)
+		t.inner, buf.B = inner, frame
+		return buf
+	}
+	buf := t.pool.Get(innerLen)
+	buf.B = pkt.AppendTCPFrame(buf.B, pkt.TCPFrameSpec{
+		SrcMAC: overlay.ClientMAC, DstMAC: overlay.ServerMAC,
+		SrcIP: overlay.ClientIP, DstIP: overlay.ServerIP,
+		SrcPort: t.Src.Port, DstPort: t.DstPort, Seq: t.seq,
+		Flags: pkt.TCPAck | pkt.TCPPsh, Payload: payload,
+	})
+	return buf
+}
 
 func (t *TCPStream) emitMessage() {
 	if t.stopped {
@@ -202,24 +266,26 @@ func (t *TCPStream) emitMessage() {
 		if i == segments-1 {
 			size = t.MsgSize - i*t.MSS
 		}
-		var frame []byte
-		if t.Target != nil {
-			frame = overlay.EncapTCPToServer(t.Src, t.Target, t.DstPort, t.seq, make([]byte, size))
-		} else {
-			frame = pkt.BuildTCPFrame(pkt.TCPFrameSpec{
-				SrcMAC: overlay.ClientMAC, DstMAC: overlay.ServerMAC,
-				SrcIP: overlay.ClientIP, DstIP: overlay.ServerIP,
-				SrcPort: t.Src.Port, DstPort: t.DstPort, Seq: t.seq,
-				Flags: pkt.TCPAck | pkt.TCPPsh, Payload: make([]byte, size),
-			})
-		}
-		t.seq += uint32(size)
-		arrive += t.Host.Costs.Serialization(len(frame))
 		if t.Inject != nil {
+			var frame []byte
+			if t.Target != nil {
+				frame = overlay.EncapTCPToServer(t.Src, t.Target, t.DstPort, t.seq, make([]byte, size))
+			} else {
+				frame = pkt.BuildTCPFrame(pkt.TCPFrameSpec{
+					SrcMAC: overlay.ClientMAC, DstMAC: overlay.ServerMAC,
+					SrcIP: overlay.ClientIP, DstIP: overlay.ServerIP,
+					SrcPort: t.Src.Port, DstPort: t.DstPort, Seq: t.seq,
+					Flags: pkt.TCPAck | pkt.TCPPsh, Payload: make([]byte, size),
+				})
+			}
+			t.seq += uint32(size)
+			arrive += t.Host.Costs.Serialization(len(frame))
 			t.Inject(now, arrive, frame)
 		} else {
-			fr := frame
-			t.Eng.At(arrive, func() { t.Host.InjectFromWire(t.Eng.Now(), fr) })
+			buf := t.encodeSegment(size)
+			t.seq += uint32(size)
+			arrive += t.Host.Costs.Serialization(len(buf.B))
+			t.Eng.CallAt(arrive, injectStreamFrame, t, buf)
 		}
 		t.SentPkts++
 	}
@@ -230,5 +296,8 @@ func (t *TCPStream) emitMessage() {
 	if gap < 1 {
 		gap = 1
 	}
-	t.Eng.At(now+gap, t.emitMessage)
+	if t.emitFn == nil {
+		t.emitFn = t.emitMessage
+	}
+	t.Eng.At(now+gap, t.emitFn)
 }

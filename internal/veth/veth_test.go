@@ -46,11 +46,12 @@ func frame(t *testing.T, dstMAC pkt.MAC, dstPort uint16) *pkt.SKB {
 func TestVethDelivers(t *testing.T) {
 	eng := sim.NewEngine(1)
 	v, _, got := newVeth(t, eng)
-	res := v.handle(0, frame(t, ctrMAC, 11211))
+	skb := frame(t, ctrMAC, 11211)
+	res := v.handle(0, skb)
 	if res.Verdict != netdev.VerdictDeliver {
 		t.Fatalf("verdict = %v", res.Verdict)
 	}
-	eng.At(100, func() { res.Deliver(100) })
+	eng.At(100, func() { res.Sink.DeliverSKB(100, skb) })
 	if err := eng.RunUntilIdle(); err != nil {
 		t.Fatal(err)
 	}
@@ -125,7 +126,7 @@ func TestBacklogServesMultipleEndpoints(t *testing.T) {
 	gotA := mk("a", ctrMAC, ctrIP)
 	gotB := mk("b", macB2, ipB2)
 
-	deliver := func(dst pkt.MAC, dstIP pkt.IPv4, payload string) netdev.Result {
+	deliver := func(dst pkt.MAC, dstIP pkt.IPv4, payload string) (netdev.Result, *pkt.SKB) {
 		f := pkt.BuildUDPFrame(pkt.UDPFrameSpec{
 			SrcMAC: srcMAC, DstMAC: dst, SrcIP: srcIP, DstIP: dstIP,
 			SrcPort: 5, DstPort: 9000, Payload: []byte(payload),
@@ -134,15 +135,16 @@ func TestBacklogServesMultipleEndpoints(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		return b.handle(0, &pkt.SKB{Data: f, Flow: flow})
+		skb := &pkt.SKB{Data: f, Flow: flow}
+		return b.handle(0, skb), skb
 	}
 
-	resA := deliver(ctrMAC, ctrIP, "for-a")
-	resB := deliver(macB2, ipB2, "for-b")
+	resA, skbA := deliver(ctrMAC, ctrIP, "for-a")
+	resB, skbB := deliver(macB2, ipB2, "for-b")
 	if resA.Verdict != netdev.VerdictDeliver || resB.Verdict != netdev.VerdictDeliver {
 		t.Fatalf("verdicts = %v/%v", resA.Verdict, resB.Verdict)
 	}
-	eng.At(10, func() { resA.Deliver(10); resB.Deliver(10) })
+	eng.At(10, func() { resA.Sink.DeliverSKB(10, skbA); resB.Sink.DeliverSKB(10, skbB) })
 	if err := eng.RunUntilIdle(); err != nil {
 		t.Fatal(err)
 	}
@@ -154,7 +156,7 @@ func TestBacklogServesMultipleEndpoints(t *testing.T) {
 	}
 
 	// Unknown MAC counts as misaddressed.
-	if res := deliver(pkt.MAC{9, 9, 9, 9, 9, 9}, ctrIP, "x"); res.Verdict != netdev.VerdictDrop {
+	if res, _ := deliver(pkt.MAC{9, 9, 9, 9, 9, 9}, ctrIP, "x"); res.Verdict != netdev.VerdictDrop {
 		t.Errorf("unknown MAC verdict = %v", res.Verdict)
 	}
 	if b.Misaddressed != 1 {
