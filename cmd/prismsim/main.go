@@ -37,17 +37,18 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: fig3|fig6|fig8|fig9|fig10|fig11|fig12|fig13|extdriver|batchsweep|scaling|stages|policies|all")
-		seed     = flag.Uint64("seed", 42, "simulation seed")
-		duration = flag.Duration("duration", time.Second, "measured duration (virtual time)")
-		warmup   = flag.Duration("warmup", 100*time.Millisecond, "warmup (virtual time)")
-		bg       = flag.Float64("bg", 300_000, "background rate (pps)")
-		high     = flag.Float64("high", 1000, "high-priority flow rate (pps)")
-		load     = flag.Float64("load", 270_000, "fig8 latency load (pps)")
-		burst    = flag.Int("burst", 96, "background burst size (frames)")
-		cdf      = flag.Bool("cdf", false, "dump CDF points for CDF figures")
-		policy   = flag.String("policy", "all", "softirq poll policy for -exp policies: vanilla|dualq|headonly|prism|all")
-		parallel = flag.Int("parallel", 1, "worker count for multi-point experiments (deterministic: results identical for any value)")
+		exp       = flag.String("exp", "all", "experiment: fig3|fig6|fig8|fig9|fig10|fig11|fig12|fig13|extdriver|batchsweep|scaling|stages|policies|chaos|all")
+		seed      = flag.Uint64("seed", 42, "simulation seed")
+		duration  = flag.Duration("duration", time.Second, "measured duration (virtual time)")
+		warmup    = flag.Duration("warmup", 100*time.Millisecond, "warmup (virtual time)")
+		bg        = flag.Float64("bg", 300_000, "background rate (pps)")
+		high      = flag.Float64("high", 1000, "high-priority flow rate (pps)")
+		load      = flag.Float64("load", 270_000, "fig8 latency load (pps)")
+		burst     = flag.Int("burst", 96, "background burst size (frames)")
+		cdf       = flag.Bool("cdf", false, "dump CDF points for CDF figures")
+		policy    = flag.String("policy", "all", "softirq poll policy for -exp policies: vanilla|dualq|headonly|prism|all")
+		faultrate = flag.Float64("faultrate", 0.4, "chaos experiment's top fault intensity (the ladder is 0, r/4, r/2, r)")
+		parallel  = flag.Int("parallel", 1, "worker count for multi-point experiments (deterministic: results identical for any value)")
 
 		metricsOut = flag.String("metrics-out", "", "write the stages experiment's metrics here (.json = JSON snapshot, otherwise Prometheus text)")
 		traceOut   = flag.String("trace-out", "", "write the stages experiment's span streams here as Chrome trace-event JSON")
@@ -114,6 +115,9 @@ func main() {
 				fmt.Print(stats.FormatCDF(row.BusyCDF))
 			}
 		}
+	})
+	run("chaos", func() {
+		fmt.Println(experiments.Chaos(p, nil, experiments.ChaosRates(*faultrate)))
 	})
 	run("batchsweep", func() { fmt.Println(experiments.AblationBatch(p, nil)) })
 	run("scaling", func() { fmt.Println(experiments.Scaling(p, nil)) })

@@ -1,0 +1,209 @@
+package experiments
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"prism/internal/fault"
+	"prism/internal/obs"
+	"prism/internal/par"
+	"prism/internal/prio"
+	"prism/internal/stats"
+	"prism/internal/traffic"
+)
+
+// PortLowPrio is the chaos experiment's unprioritized latency flow: same
+// workload shape as the PortHighPrio flow, but with no rule in the
+// priority database — the pair measures how much of the fault damage each
+// policy deflects onto best-effort traffic.
+const PortLowPrio = 22222
+
+// ChaosVariants are the default policy configurations the chaos driver
+// degrades: the vanilla baseline against full PRISM (run-to-completion).
+var ChaosVariants = []PolicyVariant{
+	{Policy: "vanilla", Mode: prio.ModeVanilla},
+	{Policy: "prism", Mode: prio.ModeSync},
+}
+
+// ChaosRates builds the fault-rate ladder up to maxRate (default 0.4):
+// rate 0 — which runs with a nil plane and must be bit-identical to an
+// unfaulted build — plus three increasing intensities.
+func ChaosRates(maxRate float64) []float64 {
+	if maxRate <= 0 {
+		maxRate = 0.4
+	}
+	return []float64{0, maxRate / 4, maxRate / 2, maxRate}
+}
+
+// ChaosRow is one (policy, fault-rate) measurement point.
+type ChaosRow struct {
+	Variant   PolicyVariant
+	FaultRate float64
+
+	// High and Low summarize the prioritized and best-effort latency
+	// flows; HighRecv/LowRecv are their reply counts and BGRecv the
+	// background sink's deliveries.
+	High     stats.Summary
+	Low      stats.Summary
+	HighRecv uint64
+	LowRecv  uint64
+	BGRecv   uint64
+
+	// Faults is everything the plane injected; Shed counts low-priority
+	// victims evicted by the overload policy (ring + stage queues);
+	// Rescues counts watchdog IRQ re-arms.
+	Faults  fault.Counters
+	Shed    uint64
+	Rescues uint64
+
+	Util float64
+
+	// MetricsSHA / SpansSHA digest the point's full observability streams;
+	// the determinism tests compare them across seeds and worker counts.
+	MetricsSHA string
+	SpansSHA   string
+}
+
+// ChaosResult is the chaos experiment: latency degradation per policy as
+// the fault rate rises, with priority-aware shedding and the watchdog
+// active at every nonzero rate.
+type ChaosResult struct {
+	Seed uint64
+	Rows []ChaosRow
+}
+
+// Chaos runs the (variants × rates) grid. Every point is an independent
+// engine with its own fault plane, so points fan out over p.Workers with
+// bit-identical results, and the same seed reproduces the same table.
+func Chaos(p Params, variants []PolicyVariant, rates []float64) ChaosResult {
+	if len(variants) == 0 {
+		variants = ChaosVariants
+	}
+	if len(rates) == 0 {
+		rates = ChaosRates(0)
+	}
+	type point struct {
+		v    PolicyVariant
+		rate float64
+	}
+	grid := make([]point, 0, len(variants)*len(rates))
+	for _, v := range variants {
+		for _, rate := range rates {
+			grid = append(grid, point{v: v, rate: rate})
+		}
+	}
+	res := ChaosResult{Seed: p.Seed, Rows: make([]ChaosRow, len(grid))}
+	par.ForEach(len(grid), p.Workers, func(i int) {
+		res.Rows[i] = chaosPoint(p, grid[i].v, grid[i].rate)
+	})
+	return res
+}
+
+// chaosPoint measures one policy at one fault rate: a prioritized and an
+// unprioritized latency flow compete with a background flood while the
+// plane injects every fault class; the run is then drained to idle and
+// the conservation/leak invariants are enforced.
+func chaosPoint(p Params, v PolicyVariant, rate float64) ChaosRow {
+	pipe := obs.NewPipeline(fmt.Sprintf("chaos-%s-r%d", v.Label(), int(rate*1000)))
+	opts := []RigOption{WithObs(pipe), WithPolicy(v.Policy)}
+	if rate > 0 {
+		// Rate 0 runs with no plane at all (and no shedding), so its
+		// datapath is bit-identical to an unfaulted build — the golden
+		// fixtures prove the hooks are free.
+		opts = append(opts, WithFault(&fault.Config{Seed: p.Seed, Rate: rate}), WithShed())
+	}
+	r := NewRig(p, v.Mode, opts...)
+
+	hi := r.Host.AddContainer("hi-srv")
+	ppHigh := traffic.NewPingPong(r.Eng, r.Host, hi, clientSrc(0), PortHighPrio, p.HighRate)
+	r.Host.DB.Add(prio.Rule{IP: hi.IP, Port: PortHighPrio})
+	ppHigh.Warmup = p.Warmup
+	mustNoErr(ppHigh.InstallEcho(p.EchoCost))
+	ppHigh.Start(r.Client, 0)
+
+	lo := r.Host.AddContainer("lo-srv")
+	ppLow := traffic.NewPingPong(r.Eng, r.Host, lo, clientSrc(1), PortLowPrio, p.HighRate)
+	ppLow.Warmup = p.Warmup
+	mustNoErr(ppLow.InstallEcho(p.EchoCost))
+	ppLow.Start(r.Client, 0)
+
+	bg := r.Host.AddContainer("bg-srv")
+	fl := traffic.NewUDPFlood(r.Eng, r.Host, bg, clientSrc(2), PortBackgrnd, p.BGRate)
+	fl.Burst = p.BGBurst
+	fl.Poisson = false
+	fl.JitterFrac = 0.25
+	mustNoErr(fl.InstallSink(p.SinkCost))
+	fl.Start(0)
+
+	mustNoErr(r.Run(p))
+	util := r.Utilization()
+	ppHigh.Stop()
+	ppLow.Stop()
+	fl.Stop()
+	mustNoErr(r.Drain())
+	mustNoErr(r.CheckInvariants())
+
+	row := ChaosRow{
+		Variant:   v,
+		FaultRate: rate,
+		High:      ppHigh.Hist.Summarize(),
+		Low:       ppLow.Hist.Summarize(),
+		HighRecv:  ppHigh.Received,
+		LowRecv:   ppLow.Received,
+		BGRecv:    fl.Delivered.Count(),
+		Faults:    r.FaultStats(),
+		Util:      util,
+	}
+	row.Rescues = row.Faults.WatchdogRescues
+	for _, n := range r.Host.NICs {
+		row.Shed += n.ShedDrops
+	}
+	for _, rx := range r.Host.Rxs {
+		row.Shed += rx.Stats().Shed
+	}
+	row.MetricsSHA = digest([]byte(obs.PrometheusText(pipe.M)))
+	spans, err := json.Marshal(pipe.T.Events())
+	mustNoErr(err)
+	row.SpansSHA = digest(spans)
+	return row
+}
+
+func digest(b []byte) string {
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+// String renders the degradation table: per policy, latency and loss as
+// the fault rate rises, with each row's p99 also shown relative to the
+// same policy's fault-free baseline.
+func (r ChaosResult) String() string {
+	base := map[PolicyVariant]stats.Summary{}
+	for _, row := range r.Rows {
+		if row.FaultRate == 0 {
+			base[row.Variant] = row.High
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Chaos — latency degradation under injected faults (seed %d)\n", r.Seed)
+	fmt.Fprintf(&b, "%-11s %5s %10s %10s %8s %10s %10s %7s %7s %8s %8s\n",
+		"policy", "rate", "hi p50(µs)", "hi p99(µs)", "hi p99x",
+		"lo p50(µs)", "lo p99(µs)", "shed", "rescue", "injected", "util")
+	for _, row := range r.Rows {
+		p99x := "-"
+		if b0, ok := base[row.Variant]; ok && b0.P99 > 0 && row.FaultRate > 0 {
+			p99x = fmt.Sprintf("%.2fx", float64(row.High.P99)/float64(b0.P99))
+		}
+		injected := row.Faults.Corrupted + row.Faults.LinkDropped + row.Faults.Jittered +
+			row.Faults.OverrunDropped + row.Faults.IRQsLost + row.Faults.IRQsSpurious +
+			row.Faults.SoftirqStalls + row.Faults.ConsumerStalls
+		fmt.Fprintf(&b, "%-11s %5.2f %10.1f %10.1f %8s %10.1f %10.1f %7d %7d %8d %7.0f%%\n",
+			row.Variant.Label(), row.FaultRate,
+			row.High.P50.Micros(), row.High.P99.Micros(), p99x,
+			row.Low.P50.Micros(), row.Low.P99.Micros(),
+			row.Shed, row.Rescues, injected, 100*row.Util)
+	}
+	return b.String()
+}

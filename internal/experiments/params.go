@@ -7,6 +7,7 @@ package experiments
 
 import (
 	"prism/internal/cpu"
+	"prism/internal/fault"
 	"prism/internal/nic"
 	"prism/internal/obs"
 	"prism/internal/overlay"
@@ -121,6 +122,19 @@ func WithPolicy(name string) RigOption {
 	return func(s *testbed.Spec) { s.Policy = name }
 }
 
+// WithFault threads a deterministic fault-injection plane through the
+// host (Monolithic rigs only; see testbed.Spec.Fault).
+func WithFault(cfg *fault.Config) RigOption {
+	return func(s *testbed.Spec) { s.Fault = cfg }
+}
+
+// WithShed enables the priority-aware overload drop policy: under
+// pressure the NIC ring and the stage queues evict low-priority packets
+// to admit high-priority ones instead of rejecting them.
+func WithShed() RigOption {
+	return func(s *testbed.Spec) { s.Shed = true }
+}
+
 // baseSpec is the standard experiment testbed for a mode: the paper's
 // server machine with C1-pinned cores and a ConnectX-5-like NIC (adaptive
 // interrupt moderation, GRO on).
@@ -177,6 +191,25 @@ func (r *Rig) Run(p Params) error {
 // measured interval.
 func (r *Rig) Utilization() float64 {
 	return r.Host.ProcCore.Utilization(r.Eng.Now())
+}
+
+// Drain runs the rig's engine to idle after the horizon, letting the
+// fault plane's watchdog rescue devices stranded by lost IRQs. Stop the
+// traffic generators first.
+func (r *Rig) Drain() error { return r.tb.Drain() }
+
+// CheckInvariants verifies packet conservation and pool balance; after a
+// Drain the strict zero-leak form applies.
+func (r *Rig) CheckInvariants() error { return r.tb.CheckInvariants() }
+
+// FaultStats returns the fault plane's counters (zero when the rig was
+// built without WithFault).
+func (r *Rig) FaultStats() fault.Counters {
+	var c fault.Counters
+	for _, p := range r.tb.Planes {
+		c = p.Stats()
+	}
+	return c
 }
 
 // Modes lists the three compared configurations in presentation order.

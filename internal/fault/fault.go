@@ -1,0 +1,376 @@
+// Package fault is the deterministic fault-injection plane: a seed-driven
+// source of adversarial events — corrupted wire frames, DMA ring overruns,
+// lost and spurious interrupts, link flaps, latency jitter, stalled
+// consumers, softirq worker stalls — threaded through the datapath layers
+// via the same optional nil-safe hook pattern as internal/obs.
+//
+// Every layer holds the plane as an optional pointer and calls its hooks
+// unconditionally; a nil plane (or a zero fault rate) makes every hook a
+// no-op, so the unfaulted datapath is bit-identical to a build without the
+// plane. All fault decisions draw from the plane's own RNG stream, derived
+// from the configured seed — injecting faults never perturbs the workload
+// generators' random sequences, which keeps A/B comparisons across fault
+// rates meaningful.
+//
+// The plane also hosts the hardening counterpart to the injection: a NAPI
+// watchdog (the kernel dev_watchdog analogue) that periodically scans the
+// registered devices for a stuck state — packets queued, no poll scheduled,
+// no interrupt pending — and re-arms the device's IRQ.
+package fault
+
+import (
+	"prism/internal/obs"
+	"prism/internal/sim"
+)
+
+// Class selects fault classes; classes combine as a bitmask. The zero
+// value of Config.Classes means ClassAll.
+type Class uint32
+
+// Fault classes, one per layer the plane reaches into.
+const (
+	// ClassCorrupt flips bits in wire frames before DMA; the corruption
+	// must surface as decode/parse drops in internal/pkt, never panics.
+	ClassCorrupt Class = 1 << iota
+	// ClassRing injects DMA ring overrun bursts plus lost and spurious
+	// interrupts at the NIC.
+	ClassRing
+	// ClassLink injects link flaps (drop windows) and per-frame latency
+	// jitter on the overlay wire.
+	ClassLink
+	// ClassConsumer stalls application threads so socket receive buffers
+	// and the veth backlog fill up.
+	ClassConsumer
+	// ClassSoftirq stalls the softirq worker at the start of a run
+	// (ksoftirqd preempted), delaying every queued packet.
+	ClassSoftirq
+
+	// ClassAll enables every class.
+	ClassAll = ClassCorrupt | ClassRing | ClassLink | ClassConsumer | ClassSoftirq
+)
+
+// Per-event fault probabilities at Rate == 1; each scales linearly with
+// the configured rate.
+const (
+	pCorrupt      = 0.30  // per wire frame
+	pFlapStart    = 0.004 // per wire frame
+	pJitter       = 0.10  // per wire frame
+	pOverrunStart = 0.015 // per DMA attempt
+	pIRQLoss      = 0.20  // per raised interrupt
+	pSoftirqStall = 0.05  // per net_rx_action run
+)
+
+// Config parameterizes the plane. The zero value of every knob gets a
+// sensible default from NewPlane; only Seed and Rate are required.
+type Config struct {
+	// Seed drives the plane's private RNG stream (distinct from the
+	// engine's even for the same value).
+	Seed uint64
+	// Rate is the master fault intensity in [0, 1]. Per-event classes fire
+	// with probability proportional to it; timeline classes (spurious
+	// IRQs, consumer stalls) fire at a frequency proportional to it. Zero
+	// disables injection entirely — every hook returns the no-fault answer
+	// without drawing from the RNG.
+	Rate float64
+	// Classes selects which fault classes fire; zero means ClassAll.
+	Classes Class
+
+	// CorruptBits is how many random bits flip per corrupted frame.
+	CorruptBits int
+	// OverrunBurst is how many consecutive DMA attempts one ring-overrun
+	// burst rejects (a slow PCIe writeback stalls the whole ring, not one
+	// descriptor).
+	OverrunBurst int
+	// FlapDuration is how long the link stays down per flap.
+	FlapDuration sim.Time
+	// JitterMax bounds the extra wire latency of a jittered frame.
+	JitterMax sim.Time
+	// SpuriousEvery is the mean gap between spurious interrupts per
+	// device at Rate 1 (scaled up at lower rates).
+	SpuriousEvery sim.Time
+	// StallEvery is the mean gap between consumer stalls per thread at
+	// Rate 1; StallDuration is how long each stall occupies the core.
+	StallEvery    sim.Time
+	StallDuration sim.Time
+	// SoftirqStallDuration is the stall charged to the processing core
+	// when a softirq-worker stall fires.
+	SoftirqStallDuration sim.Time
+	// WatchdogInterval is the stuck-device scan period (dev_watchdog).
+	// Negative disables the watchdog; zero means the default.
+	WatchdogInterval sim.Time
+}
+
+// Counters aggregates everything the plane injected and everything the
+// watchdog repaired; the invariant checker folds the drop counters into
+// its conservation equations.
+type Counters struct {
+	WireFrames      uint64 // frames inspected by the wire hook
+	Corrupted       uint64
+	LinkFlaps       uint64 // flap windows opened
+	LinkDropped     uint64 // frames dropped while the link was down
+	Jittered        uint64
+	OverrunBursts   uint64
+	OverrunDropped  uint64 // frames rejected at the DMA engine
+	IRQsLost        uint64
+	IRQsSpurious    uint64
+	SoftirqStalls   uint64
+	ConsumerStalls  uint64
+	WatchdogRescues uint64
+}
+
+// Device is the watchdog/interrupt surface a NIC exposes to the plane.
+type Device interface {
+	// DeviceName labels the device in fault metrics.
+	DeviceName() string
+	// Stuck reports packets queued with no poll scheduled and no
+	// interrupt pending — the state a lost IRQ strands a device in.
+	Stuck() bool
+	// RearmIRQ re-raises the device's interrupt if it is stuck.
+	RearmIRQ(now sim.Time)
+	// SpuriousIRQ raises an interrupt with no new packets behind it.
+	SpuriousIRQ(now sim.Time)
+}
+
+// Consumer is the stall surface of an application thread.
+type Consumer interface {
+	// Stall occupies the consumer's core for dur without completing work.
+	Stall(now, dur sim.Time)
+}
+
+// Plane is one engine's fault injector. All methods are nil-safe: calling
+// them on a nil *Plane is the documented no-op, which is what lets every
+// layer hold the plane as an optional pointer and skip nil checks at each
+// hook site.
+type Plane struct {
+	cfg Config
+	eng *sim.Engine
+	rng *sim.RNG
+	obs *obs.Pipeline
+
+	// linkDownUntil is the current flap window's end; overrunLeft counts
+	// the remaining rejections of the current overrun burst.
+	linkDownUntil sim.Time
+	overrunLeft   int
+
+	// scratch backs corrupted frames: the wire hook must not mutate the
+	// caller's buffer (generators reuse one frame for a whole run), so a
+	// corrupted frame is a copy. Valid until the next corruption; the NIC
+	// DMA-copies synchronously, so one buffer suffices.
+	scratch []byte
+
+	devices   []Device
+	consumers []Consumer
+
+	until   sim.Time
+	started bool
+
+	Counters
+}
+
+// NewPlane builds a plane for the engine with defaults filled in. The RNG
+// stream is derived from cfg.Seed but distinct from an engine seeded with
+// the same value.
+func NewPlane(eng *sim.Engine, cfg Config) *Plane {
+	if cfg.Classes == 0 {
+		cfg.Classes = ClassAll
+	}
+	if cfg.CorruptBits <= 0 {
+		cfg.CorruptBits = 3
+	}
+	if cfg.OverrunBurst <= 0 {
+		cfg.OverrunBurst = 32
+	}
+	if cfg.FlapDuration <= 0 {
+		cfg.FlapDuration = 150 * sim.Microsecond
+	}
+	if cfg.JitterMax <= 0 {
+		cfg.JitterMax = 50 * sim.Microsecond
+	}
+	if cfg.SpuriousEvery <= 0 {
+		cfg.SpuriousEvery = 5 * sim.Millisecond
+	}
+	if cfg.StallEvery <= 0 {
+		cfg.StallEvery = 10 * sim.Millisecond
+	}
+	if cfg.StallDuration <= 0 {
+		cfg.StallDuration = 400 * sim.Microsecond
+	}
+	if cfg.SoftirqStallDuration <= 0 {
+		cfg.SoftirqStallDuration = 30 * sim.Microsecond
+	}
+	if cfg.WatchdogInterval == 0 {
+		cfg.WatchdogInterval = 2 * sim.Millisecond
+	}
+	return &Plane{cfg: cfg, eng: eng, rng: sim.NewRNG(cfg.Seed ^ 0xfa017fa017)}
+}
+
+// SetObs installs the observability pipeline fault metrics are exported
+// through (nil disables export).
+func (p *Plane) SetObs(pipe *obs.Pipeline) {
+	if p == nil {
+		return
+	}
+	p.obs = pipe
+}
+
+// Config returns the plane's effective configuration (defaults applied).
+func (p *Plane) Config() Config { return p.cfg }
+
+// Stats returns a copy of the fault counters; zero for a nil plane.
+func (p *Plane) Stats() Counters {
+	if p == nil {
+		return Counters{}
+	}
+	return p.Counters
+}
+
+// Watch registers a device with the watchdog and the spurious-IRQ
+// timeline.
+func (p *Plane) Watch(d Device) {
+	if p == nil {
+		return
+	}
+	p.devices = append(p.devices, d)
+}
+
+// WatchConsumer registers an application thread with the stall timeline.
+func (p *Plane) WatchConsumer(c Consumer) {
+	if p == nil {
+		return
+	}
+	p.consumers = append(p.consumers, c)
+}
+
+// active reports whether per-event hooks of class c should draw at all.
+func (p *Plane) active(c Class) bool {
+	return p != nil && p.cfg.Rate > 0 && p.cfg.Classes&c != 0
+}
+
+// injected exports one injected-fault event through obs.
+func (p *Plane) injected(class string) {
+	if p.obs == nil {
+		return
+	}
+	p.obs.M.Counter("prism_fault_injected_total", obs.Labels{Stage: class, Shard: p.obs.Shard}).Add(1)
+}
+
+// dropped exports one fault-induced frame drop with its reason.
+func (p *Plane) dropped(dev, reason string) {
+	if p.obs == nil {
+		return
+	}
+	p.obs.M.Counter("prism_fault_drops_total", obs.Labels{Device: dev, Stage: reason, Shard: p.obs.Shard}).Add(1)
+}
+
+// WireRx is the overlay's receive hook, called for every frame arriving
+// from the wire before DMA. It returns the frame to deliver (a plane-owned
+// copy when corrupted — the caller's buffer is never mutated), whether the
+// frame is lost to a link flap, and an extra latency to impose before DMA.
+// A delayed frame must be copied by the caller: the returned slice is only
+// valid until the hook runs again.
+func (p *Plane) WireRx(now sim.Time, frame []byte) (out []byte, drop bool, delay sim.Time) {
+	if p == nil || p.cfg.Rate <= 0 {
+		return frame, false, 0
+	}
+	p.WireFrames++
+	if p.cfg.Classes&ClassLink != 0 {
+		if now < p.linkDownUntil {
+			p.LinkDropped++
+			p.dropped("wire", "linkflap")
+			return nil, true, 0
+		}
+		if p.rng.Float64() < pFlapStart*p.cfg.Rate {
+			p.linkDownUntil = now + p.cfg.FlapDuration
+			p.LinkFlaps++
+			p.LinkDropped++
+			p.injected("linkflap")
+			p.dropped("wire", "linkflap")
+			return nil, true, 0
+		}
+		if p.rng.Float64() < pJitter*p.cfg.Rate {
+			delay = sim.Time(p.rng.Uint64()%uint64(p.cfg.JitterMax)) + 1
+			p.Jittered++
+			p.injected("jitter")
+		}
+	}
+	out = frame
+	if p.cfg.Classes&ClassCorrupt != 0 && p.rng.Float64() < pCorrupt*p.cfg.Rate {
+		out = p.corrupt(frame)
+		p.Corrupted++
+		p.injected("corrupt")
+	}
+	return out, false, delay
+}
+
+// corrupt copies frame into the plane's scratch buffer and flips
+// CorruptBits random bits.
+func (p *Plane) corrupt(frame []byte) []byte {
+	if cap(p.scratch) < len(frame) {
+		p.scratch = make([]byte, len(frame))
+	}
+	s := p.scratch[:len(frame)]
+	copy(s, frame)
+	if len(s) == 0 {
+		return s
+	}
+	for i := 0; i < p.cfg.CorruptBits; i++ {
+		bit := p.rng.Intn(len(s) * 8)
+		s[bit/8] ^= 1 << (bit % 8)
+	}
+	return s
+}
+
+// RingOverrun is the NIC's DMA admission hook: true means the DMA engine
+// rejected the frame before a descriptor was posted (no SKB exists; the
+// plane accounts the drop). Overruns arrive in bursts.
+func (p *Plane) RingOverrun(now sim.Time, dev string) bool {
+	if !p.active(ClassRing) {
+		return false
+	}
+	if p.overrunLeft > 0 {
+		p.overrunLeft--
+		p.OverrunDropped++
+		p.dropped(dev, "overrun")
+		return true
+	}
+	if p.rng.Float64() < pOverrunStart*p.cfg.Rate {
+		p.OverrunBursts++
+		p.overrunLeft = p.cfg.OverrunBurst - 1
+		p.OverrunDropped++
+		p.injected("overrun")
+		p.dropped(dev, "overrun")
+		return true
+	}
+	return false
+}
+
+// DropIRQ is the NIC's interrupt-raise hook: true means the interrupt is
+// lost on its way to the core. The packets stay in the ring until the next
+// arrival re-raises — or, with no follow-up traffic, until the watchdog
+// notices the stuck device.
+func (p *Plane) DropIRQ(now sim.Time, dev string) bool {
+	if !p.active(ClassRing) {
+		return false
+	}
+	if p.rng.Float64() < pIRQLoss*p.cfg.Rate {
+		p.IRQsLost++
+		p.injected("irqloss")
+		return true
+	}
+	return false
+}
+
+// SoftirqStall is the softirq engine's run hook: a nonzero return is extra
+// CPU charged to the processing core before the poll loop starts, modeling
+// ksoftirqd being preempted with the whole backlog waiting behind it.
+func (p *Plane) SoftirqStall(now sim.Time) sim.Time {
+	if !p.active(ClassSoftirq) {
+		return 0
+	}
+	if p.rng.Float64() < pSoftirqStall*p.cfg.Rate {
+		p.SoftirqStalls++
+		p.injected("softirqstall")
+		return p.cfg.SoftirqStallDuration
+	}
+	return 0
+}

@@ -1,0 +1,108 @@
+package fault
+
+import "prism/internal/sim"
+
+// Timeline faults are the ones that fire on their own clock rather than
+// piggybacking on a datapath event: spurious interrupts, consumer stalls,
+// and the watchdog's stuck-device scan. Start schedules one self-renewing
+// chain per registered device/consumer; every chain stops rescheduling
+// once its next firing would land past the horizon, so RunUntilIdle after
+// a run terminates instead of chasing fault events forever.
+
+// Start arms the timeline fault chains and the watchdog up to the given
+// horizon. It is idempotent per plane (the chains are armed once) and
+// nil-safe. The watchdog runs even at Rate 0 if devices are registered —
+// it is hardening, not injection — but a zero-rate plane schedules no
+// fault events.
+func (p *Plane) Start(until sim.Time) {
+	if p == nil || p.started {
+		return
+	}
+	p.started = true
+	p.until = until
+	if p.cfg.Rate > 0 {
+		if p.cfg.Classes&ClassRing != 0 {
+			for _, d := range p.devices {
+				p.armSpurious(d)
+			}
+		}
+		if p.cfg.Classes&ClassConsumer != 0 {
+			for _, c := range p.consumers {
+				p.armStall(c)
+			}
+		}
+	}
+	if len(p.devices) > 0 && p.cfg.WatchdogInterval > 0 {
+		p.armWatchdog(p.eng.Now() + p.cfg.WatchdogInterval)
+	}
+}
+
+// armSpurious schedules the next spurious interrupt for d. Gaps are
+// exponential with mean SpuriousEvery/Rate, so the event frequency scales
+// with the master rate like the per-event probabilities do.
+func (p *Plane) armSpurious(d Device) {
+	gap := p.rng.ExpDuration(sim.Time(float64(p.cfg.SpuriousEvery) / p.cfg.Rate))
+	at := p.eng.Now() + gap + 1
+	if at >= p.until {
+		return
+	}
+	p.eng.At(at, func() {
+		p.IRQsSpurious++
+		p.injected("spuriousirq")
+		d.SpuriousIRQ(at)
+		p.armSpurious(d)
+	})
+}
+
+// armStall schedules the next consumer stall for c.
+func (p *Plane) armStall(c Consumer) {
+	gap := p.rng.ExpDuration(sim.Time(float64(p.cfg.StallEvery) / p.cfg.Rate))
+	at := p.eng.Now() + gap + 1
+	if at >= p.until {
+		return
+	}
+	p.eng.At(at, func() {
+		p.ConsumerStalls++
+		p.injected("consumerstall")
+		c.Stall(at, p.cfg.StallDuration)
+		p.armStall(c)
+	})
+}
+
+// armWatchdog schedules the next stuck-device scan.
+func (p *Plane) armWatchdog(at sim.Time) {
+	if at >= p.until {
+		return
+	}
+	p.eng.At(at, func() {
+		p.rescue(at)
+		p.armWatchdog(at + p.cfg.WatchdogInterval)
+	})
+}
+
+// rescue scans the registered devices and re-arms the IRQ of every stuck
+// one, returning how many it rescued.
+func (p *Plane) rescue(now sim.Time) int {
+	n := 0
+	for _, d := range p.devices {
+		if !d.Stuck() {
+			continue
+		}
+		p.WatchdogRescues++
+		p.injected("watchdogrescue")
+		d.RearmIRQ(now)
+		n++
+	}
+	return n
+}
+
+// RescueStuck runs one watchdog scan immediately. The drain loop uses it
+// after the horizon: a lost IRQ with no follow-up traffic strands packets
+// in the ring past the last scheduled scan, and draining to idle must not
+// leave them there. Nil-safe; returns the number of devices rescued.
+func (p *Plane) RescueStuck(now sim.Time) int {
+	if p == nil {
+		return 0
+	}
+	return p.rescue(now)
+}

@@ -67,6 +67,26 @@ func (q *Queue) Dequeue() *pkt.SKB {
 	return s
 }
 
+// EvictLowPrio removes and returns the oldest queued low-priority packet
+// (Priority 0), or nil when every queued packet is prioritized. It backs
+// the overload shed policy: under pressure a high-priority arrival evicts
+// a low-priority victim instead of being rejected itself. The caller
+// accounts the eviction (it is not an enqueue-reject, so Dropped is not
+// touched) and owns the returned SKB.
+func (q *Queue) EvictLowPrio() *pkt.SKB {
+	for i := q.head; i < len(q.items); i++ {
+		s := q.items[i]
+		if s.Priority != 0 {
+			continue
+		}
+		copy(q.items[i:], q.items[i+1:])
+		q.items[len(q.items)-1] = nil
+		q.items = q.items[:len(q.items)-1]
+		return s
+	}
+	return nil
+}
+
 // Peek returns the oldest packet without removing it, or nil if empty.
 func (q *Queue) Peek() *pkt.SKB {
 	if q.Empty() {

@@ -12,6 +12,7 @@
 package nic
 
 import (
+	"prism/internal/fault"
 	"prism/internal/netdev"
 	"prism/internal/obs"
 	"prism/internal/pkt"
@@ -59,6 +60,12 @@ type Config struct {
 	// Only PRISM engines exploit it; under vanilla all frames still go to
 	// the single FIFO ring.
 	PriorityRings bool
+	// Shed enables the priority-aware overload drop policy: when the
+	// single FIFO ring is full and the arriving frame classifies as
+	// high-priority, the oldest queued low-priority packet is evicted to
+	// make room — shed-low-first, mirroring the dual-queue design at the
+	// admission point.
+	Shed bool
 	// FirstID is the base value for this NIC's SKB IDs. Topologies with
 	// several RX queues give each queue's NIC a distinct base so packet
 	// identities stay unique host-wide — the observability pipeline keys
@@ -112,11 +119,20 @@ type NIC struct {
 
 	// obs, when set, records frame DMA and interrupt instants.
 	obs *obs.Pipeline
+	// fault, when set, injects DMA overruns and interrupt loss; nil-safe
+	// hooks make the unfaulted path identical to a plane-less build.
+	fault *fault.Plane
 
 	// Counters.
-	DMAd   uint64
-	IRQs   uint64
-	Merged uint64
+	DMAd      uint64
+	IRQs      uint64
+	Merged    uint64
+	Overruns  uint64 // DMA attempts rejected by an injected ring overrun
+	LostIRQs  uint64 // raised interrupts lost to injection
+	ShedDrops uint64 // low-priority packets evicted by the shed policy
+	// WatchdogRearms counts IRQs re-raised by the fault plane's watchdog
+	// after it found the device stuck.
+	WatchdogRearms uint64
 }
 
 // New builds the NIC and its stage-1 device.
@@ -147,11 +163,26 @@ func (n *NIC) AttachBridge(br *netdev.Device) { n.bridge = br }
 // SetObs installs the observability pipeline (nil disables collection).
 func (n *NIC) SetObs(p *obs.Pipeline) { n.obs = p }
 
+// SetFault installs the fault plane (nil disables injection).
+func (n *NIC) SetFault(p *fault.Plane) { n.fault = p }
+
+// PoolOutstanding reports how many SKBs and pooled frame buffers this
+// NIC's pools have checked out; both must be zero after a drained run.
+func (n *NIC) PoolOutstanding() (skbs, frames int) {
+	return n.skbs.Outstanding(), n.frames.Outstanding()
+}
+
 // DMA places a received frame into the RX ring at time now (the link layer
 // calls this) and drives interrupt moderation. The bytes are copied into a
 // pooled ring buffer, so the caller keeps ownership of frame and may reuse
 // its backing array immediately.
 func (n *NIC) DMA(now sim.Time, frame []byte) {
+	if n.fault.RingOverrun(now, n.cfg.Name) {
+		// The DMA engine lost the frame before posting a descriptor: no
+		// SKB exists; the plane accounts the drop.
+		n.Overruns++
+		return
+	}
 	buf := n.frames.Get(len(frame))
 	copy(buf.B, frame)
 	skb := n.skbs.Get()
@@ -163,20 +194,32 @@ func (n *NIC) DMA(now sim.Time, frame []byte) {
 		// Hardware flow steering: classify before ring placement. The
 		// lookup itself costs no host CPU — that is the whole point of
 		// pushing it into the NIC.
-		if inner, ok := innerFrame(frame); ok {
-			if flow, err := pkt.ParseFlow(inner); err == nil {
-				if lvl := n.db.ClassifyLevel(flow); lvl > 0 {
-					skb.Priority = lvl
-					skb.HighPriority = true
-					highRing = true
-				}
-			}
-		}
+		highRing = n.classify(frame, skb)
 	}
 	enqueued := false
 	if highRing {
 		enqueued = n.Dev.HighQ.Enqueue(skb)
 	} else {
+		if n.cfg.Shed && n.Dev.LowQ.Len() >= n.Dev.LowQ.Cap() {
+			// Overload: before letting the full ring reject this frame,
+			// check whether it deserves a slot more than something queued.
+			// Without priority rings nothing in the ring has been
+			// classified yet (the stage-1 limitation), so the policy
+			// classifies only the arriving frame and treats every
+			// unclassified resident as sheddable.
+			if !n.cfg.PriorityRings {
+				n.classify(frame, skb)
+			}
+			if skb.Priority > 0 {
+				if victim := n.Dev.LowQ.EvictLowPrio(); victim != nil {
+					n.ShedDrops++
+					if n.obs != nil {
+						n.obs.Drop(now, n.Dev.Name, obs.StageShed, victim.ID, victim.Priority)
+					}
+					victim.Free()
+				}
+			}
+		}
 		enqueued = n.Dev.LowQ.Enqueue(skb)
 	}
 	if !enqueued {
@@ -219,6 +262,27 @@ func (n *NIC) DMA(now sim.Time, frame []byte) {
 	}
 }
 
+// classify runs priority classification against the wire frame and stamps
+// the SKB, reporting whether the packet classified high. Both hardware
+// flow steering (PriorityRings) and the shed policy's admission check use
+// it; handle()'s software classification is idempotent with it.
+func (n *NIC) classify(frame []byte, skb *pkt.SKB) bool {
+	inner, ok := innerFrame(frame)
+	if !ok {
+		return false
+	}
+	flow, err := pkt.ParseFlow(inner)
+	if err != nil {
+		return false
+	}
+	if lvl := n.db.ClassifyLevel(flow); lvl > 0 {
+		skb.Priority = lvl
+		skb.HighPriority = true
+		return true
+	}
+	return false
+}
+
 // innerFrame strips VXLAN encapsulation for classification, returning the
 // frame whose flow identifies the application.
 func innerFrame(frame []byte) ([]byte, bool) {
@@ -240,12 +304,11 @@ func (n *NIC) fireHighIRQ() {
 		n.irqTimer = nil
 	}
 	n.pendingIRQ = 0
-	n.IRQs++
-	n.lastIRQ = n.eng.Now()
-	if n.obs != nil {
-		n.obs.IRQ(n.lastIRQ, n.Dev.Name)
+	if n.fault.DropIRQ(n.eng.Now(), n.cfg.Name) {
+		n.LostIRQs++
+		return
 	}
-	n.sched.NotifyArrival(n.Dev, true)
+	n.raise(n.eng.Now(), true)
 }
 
 // fireIRQ raises the hardware interrupt (once) and resets moderation.
@@ -258,12 +321,55 @@ func (n *NIC) fireIRQ() {
 	if n.Dev.InPollList {
 		return
 	}
-	n.IRQs++
-	n.lastIRQ = n.eng.Now()
-	if n.obs != nil {
-		n.obs.IRQ(n.lastIRQ, n.Dev.Name)
+	if n.fault.DropIRQ(n.eng.Now(), n.cfg.Name) {
+		n.LostIRQs++
+		return
 	}
-	n.sched.NotifyArrival(n.Dev, false)
+	n.raise(n.eng.Now(), false)
+}
+
+// raise delivers the interrupt to the scheduler unconditionally: past
+// moderation, past injection. The moderated paths funnel here, and the
+// watchdog rearm uses it directly (a rearm that could itself be lost
+// would leave rescue to luck).
+func (n *NIC) raise(now sim.Time, high bool) {
+	n.IRQs++
+	n.lastIRQ = now
+	if n.obs != nil {
+		n.obs.IRQ(now, n.Dev.Name)
+	}
+	n.sched.NotifyArrival(n.Dev, high)
+}
+
+// DeviceName implements fault.Device.
+func (n *NIC) DeviceName() string { return n.cfg.Name }
+
+// Stuck implements fault.Device: packets are queued but no poll is
+// scheduled and no moderation timer is pending — the state a lost
+// interrupt strands the device in, with nothing left to wake it except
+// another arrival.
+func (n *NIC) Stuck() bool {
+	return n.Dev.HasPackets() && !n.Dev.InPollList && n.irqTimer == nil
+}
+
+// RearmIRQ implements fault.Device: the watchdog's dev_watchdog-style
+// recovery re-raises the interrupt for a stuck device.
+func (n *NIC) RearmIRQ(now sim.Time) {
+	if !n.Stuck() {
+		return
+	}
+	n.WatchdogRearms++
+	n.raise(now, !n.Dev.HighQ.Empty())
+}
+
+// SpuriousIRQ implements fault.Device: an interrupt with no (new) packets
+// behind it. Masked while the device is in the poll list, like the real
+// IRQ line; moderation state is deliberately left alone.
+func (n *NIC) SpuriousIRQ(now sim.Time) {
+	if n.Dev.InPollList {
+		return
+	}
+	n.raise(now, false)
 }
 
 // handle is the stage-1 poll processing for one SKB: GRO, classification,

@@ -49,6 +49,7 @@ const (
 	StageSocket = "socket" // payload copied into the socket buffer
 	StageGRO    = "gro"    // frame absorbed into a GRO super-SKB
 	StageDrop   = "drop"   // packet discarded
+	StageShed   = "shed"   // low-priority packet evicted by the overload policy
 )
 
 // PipelineStages lists the span-producing stages of the overlay receive

@@ -17,6 +17,7 @@ import (
 	"prism/internal/bridge"
 	"prism/internal/core"
 	"prism/internal/cpu"
+	"prism/internal/fault"
 	"prism/internal/napi"
 	"prism/internal/netdev"
 	"prism/internal/nic"
@@ -50,6 +51,8 @@ type RxEngine interface {
 	Core() *cpu.Core
 	SetOnPoll(func(softirq.PollObservation))
 	SetObs(*obs.Pipeline)
+	SetFault(*fault.Plane)
+	SetShed(bool)
 }
 
 // Config parameterizes the server host.
@@ -85,6 +88,16 @@ type Config struct {
 	// deliveries — into one observability pipeline. One pipeline per host
 	// keeps collection shard-local in parallel topologies.
 	Obs *obs.Pipeline
+
+	// Fault, when set, threads the fault-injection plane through every
+	// layer of this host: wire faults before DMA, ring/IRQ faults in the
+	// NIC, softirq stalls in the RX engines, consumer stalls on the app
+	// threads. Nil (the default) leaves the datapath bit-identical to a
+	// plane-less build.
+	Fault *fault.Plane
+	// Shed enables the priority-aware overload drop policy in the NIC ring
+	// and on softirq stage transitions.
+	Shed bool
 }
 
 // Container is one Docker-style container on the overlay network.
@@ -146,11 +159,24 @@ type Host struct {
 	// machine can live on a different shard than the server.
 	WireTx func(now, arrive sim.Time, frame []byte)
 
+	// Fault is the host's fault plane (nil when not injecting).
+	Fault *fault.Plane
+
 	cfg      Config
 	remoteRx func(now sim.Time, frame []byte)
 	nextCore int
 	// TxFrames counts frames the host sent back to the wire.
 	TxFrames uint64
+	// RxWire counts frames that arrived from the wire (before any fault
+	// treatment); the invariant checker's conservation ledger starts here.
+	RxWire uint64
+
+	// delayPool holds copies of jitter-delayed wire frames between their
+	// original arrival and their deferred DMA (the injector's buffer is
+	// reused as soon as InjectFromWire returns). delayedInFlight counts
+	// copies currently parked.
+	delayPool       pkt.FramePool
+	delayedInFlight int
 }
 
 // NewHost builds the server. The priority database starts empty and in the
@@ -174,9 +200,12 @@ func NewHost(eng *sim.Engine, cfg Config) *Host {
 	}
 	h.cfg = cfg
 
+	h.Fault = cfg.Fault
+
 	h.HostSockets = socket.NewTable("host")
 	h.HostSockets.Obs = cfg.Obs
 	h.HostThread = sched.NewThread("host-app", eng, cpu.NewCore(h.allocCore(), cfg.AppCStates), cfg.Costs.AppWakeup)
+	cfg.Fault.WatchConsumer(h.HostThread)
 
 	// Resolve the poll policy name once; every RX queue gets its own
 	// instance (policies hold per-CPU state).
@@ -196,6 +225,8 @@ func NewHost(eng *sim.Engine, cfg Config) *Host {
 		}
 		rx := softirq.New(eng, coreQ, cfg.Costs, pol)
 		rx.SetObs(cfg.Obs)
+		rx.SetFault(cfg.Fault)
+		rx.SetShed(cfg.Shed)
 
 		nicCfg := cfg.NIC
 		nicCfg.Name = fmt.Sprintf("eth0-rxq%d", q)
@@ -212,8 +243,11 @@ func NewHost(eng *sim.Engine, cfg Config) *Host {
 			// use a priority ring even if the hardware offers one.
 			nicCfg.PriorityRings = false
 		}
+		nicCfg.Shed = cfg.Shed
 		n := nic.New(eng, rx, cfg.Costs, h.DB, h.HostSockets, nicCfg)
 		n.SetObs(cfg.Obs)
+		n.SetFault(cfg.Fault)
+		cfg.Fault.Watch(n)
 
 		brName, veName := "br0", "veth0"
 		if cfg.RxQueues > 1 {
@@ -263,6 +297,7 @@ func (h *Host) AddContainer(name string) *Container {
 	c.Sockets.Obs = h.cfg.Obs
 	c.Core = cpu.NewCore(h.allocCore(), h.cfg.AppCStates)
 	c.Thread = sched.NewThread(name+"-app", h.Eng, c.Core, h.Costs.AppWakeup)
+	h.cfg.Fault.WatchConsumer(c.Thread)
 	for q := range h.Backlogs {
 		h.Backlogs[q].Register(c.MAC, c.IP, c.Sockets)
 		h.BridgeCells[q].LearnStatic(c.MAC, h.Backlogs[q].Dev)
@@ -282,8 +317,44 @@ func (h *Host) InjectFromWire(now sim.Time, frame []byte) {
 	if h.Tap != nil {
 		h.Tap(now, frame, false)
 	}
+	h.RxWire++
+	if h.Fault != nil {
+		out, drop, delay := h.Fault.WireRx(now, frame)
+		if drop {
+			return
+		}
+		if delay > 0 {
+			// Generators reuse their frame buffer the moment this call
+			// returns; a jitter-delayed frame must survive until its
+			// deferred DMA, so park a copy in the host's delay pool.
+			buf := h.delayPool.Get(len(out))
+			copy(buf.B, out)
+			h.delayedInFlight++
+			h.Eng.CallAt(now+delay, runDelayedInject, h, buf)
+			return
+		}
+		frame = out
+	}
 	h.NICs[h.rssQueue(frame)].DMA(now, frame)
 }
+
+// runDelayedInject is the deferred-DMA trampoline for jitter-delayed
+// frames; a top-level function so CallAt needs no per-frame closure.
+func runDelayedInject(at sim.Time, a1, a2 any) {
+	h := a1.(*Host)
+	buf := a2.(*pkt.Frame)
+	h.delayedInFlight--
+	h.NICs[h.rssQueue(buf.B)].DMA(at, buf.B)
+	buf.Release()
+}
+
+// DelayedInFlight reports how many jitter-delayed frames are parked
+// between arrival and their deferred DMA.
+func (h *Host) DelayedInFlight() int { return h.delayedInFlight }
+
+// DelayPoolOutstanding reports the delay pool's checked-out buffer count;
+// it must equal DelayedInFlight at all times and be zero after a drain.
+func (h *Host) DelayPoolOutstanding() int { return h.delayPool.Outstanding() }
 
 // QueueFor reports which RX queue RSS steers a frame to; experiments use
 // it to construct colliding or isolated flow placements deliberately.

@@ -1,0 +1,181 @@
+package pkt
+
+import (
+	"bytes"
+	"os"
+	"testing"
+)
+
+// The fuzz targets harden the wire-facing parsers against the fault
+// plane's corrupted frames (internal/fault flips random bits before DMA):
+// on arbitrary input the parsers must return an error or a result — never
+// panic, never read past the buffer, and never hand back a slice that
+// escapes the frame. Seed corpora live in testdata/fuzz (regenerate with
+// `go run gen_fuzz_corpus.go`); CI additionally runs each target with
+// -fuzz for a short smoke burst.
+
+// fuzzInner builds the valid inner frame the generators use, so the
+// mutation engine starts from the accepting path.
+func fuzzInner() []byte {
+	return BuildUDPFrame(UDPFrameSpec{
+		SrcMAC: MAC{2, 0, 0, 0, 0, 1}, DstMAC: MAC{2, 0, 0, 0, 0, 2},
+		SrcIP: IPv4{10, 0, 0, 1}, DstIP: IPv4{10, 0, 0, 2},
+		SrcPort: 40000, DstPort: 11111,
+		Payload: []byte("fuzz-seed-payload"),
+	})
+}
+
+func fuzzOuter() []byte {
+	return Encapsulate(VXLANSpec{
+		OuterSrcMAC: MAC{2, 0, 0, 1, 0, 1}, OuterDstMAC: MAC{2, 0, 0, 1, 0, 2},
+		OuterSrcIP: IPv4{192, 168, 0, 1}, OuterDstIP: IPv4{192, 168, 0, 2},
+		SrcPort: 49152, VNI: 42,
+	}, fuzzInner())
+}
+
+func FuzzDecapsulate(f *testing.F) {
+	f.Add(fuzzOuter())
+	f.Add(fuzzInner())
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, frame []byte) {
+		vni, inner, err := Decapsulate(frame)
+		if err != nil {
+			return
+		}
+		if vni > 0xffffff {
+			t.Fatalf("VNI %d exceeds 24 bits", vni)
+		}
+		// The inner frame must be a sub-slice of the input: the decapsulated
+		// view can never escape the wire frame.
+		if len(inner) > len(frame) {
+			t.Fatalf("inner frame longer than wire frame: %d > %d", len(inner), len(frame))
+		}
+		if len(inner) > 0 && !sameBacking(frame, inner) {
+			t.Fatalf("inner frame escaped the wire frame's backing array")
+		}
+		// The inner bytes must themselves survive the downstream parsers.
+		_, _ = ParseFlow(inner)
+		_ = IsVXLAN(inner)
+	})
+}
+
+// sameBacking reports whether sub lies within outer's backing array.
+func sameBacking(outer, sub []byte) bool {
+	if len(sub) == 0 {
+		return true
+	}
+	for i := 0; i+len(sub) <= len(outer); i++ {
+		if &outer[i] == &sub[0] {
+			return true
+		}
+	}
+	return false
+}
+
+func FuzzParseIPv4(f *testing.F) {
+	valid := fuzzInner()[EthHeaderLen:]
+	f.Add(valid)
+	f.Add(valid[:IPv4HeaderLen])
+	f.Add([]byte{0x45})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		h, err := ParseIPv4(b)
+		if err != nil {
+			return
+		}
+		if int(h.TotalLen) > len(b) || h.TotalLen < IPv4HeaderLen {
+			t.Fatalf("accepted total length %d outside [%d, %d]", h.TotalLen, IPv4HeaderLen, len(b))
+		}
+		// Round-trip: re-encoding the accepted header must parse back equal
+		// (modulo the checksum field, which PutIPv4 recomputes). The buffer
+		// is sized to TotalLen so the length validation still holds.
+		buf := make([]byte, int(h.TotalLen))
+		PutIPv4(buf, h)
+		h2, err := ParseIPv4(buf)
+		if err != nil {
+			t.Fatalf("re-encoded accepted header rejected: %v", err)
+		}
+		h.Checksum, h2.Checksum = 0, 0
+		if h != h2 {
+			t.Fatalf("round-trip mismatch:\nparsed:   %+v\nreparsed: %+v", h, h2)
+		}
+	})
+}
+
+func FuzzParseUDP(f *testing.F) {
+	valid := fuzzInner()[EthHeaderLen+IPv4HeaderLen:]
+	f.Add(valid)
+	f.Add(valid[:UDPHeaderLen])
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		h, err := ParseUDP(b)
+		if err != nil {
+			return
+		}
+		if int(h.Length) > len(b) || h.Length < UDPHeaderLen {
+			t.Fatalf("accepted UDP length %d outside [%d, %d]", h.Length, UDPHeaderLen, len(b))
+		}
+		var buf [UDPHeaderLen]byte
+		PutUDP(buf[:], UDPHeader{SrcPort: h.SrcPort, DstPort: h.DstPort, Length: UDPHeaderLen})
+		if h2, err := ParseUDP(buf[:]); err != nil || h2.SrcPort != h.SrcPort || h2.DstPort != h.DstPort {
+			t.Fatalf("round-trip mismatch: %+v -> %+v (%v)", h, h2, err)
+		}
+	})
+}
+
+func FuzzParseTCP(f *testing.F) {
+	tcp := BuildTCPFrame(TCPFrameSpec{
+		SrcMAC: MAC{2, 0, 0, 0, 0, 1}, DstMAC: MAC{2, 0, 0, 0, 0, 2},
+		SrcIP: IPv4{10, 0, 0, 1}, DstIP: IPv4{10, 0, 0, 2},
+		SrcPort: 40000, DstPort: 5201, Seq: 1, Ack: 2, Flags: TCPAck,
+	})[EthHeaderLen+IPv4HeaderLen:]
+	f.Add(tcp)
+	f.Add(tcp[:TCPHeaderLen])
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		h, err := ParseTCP(b)
+		if err != nil {
+			return
+		}
+		var buf [TCPHeaderLen]byte
+		PutTCP(buf[:], h)
+		h2, err := ParseTCP(buf[:])
+		if err != nil {
+			t.Fatalf("re-encoded accepted header rejected: %v", err)
+		}
+		if h != h2 {
+			t.Fatalf("round-trip mismatch:\nparsed:   %+v\nreparsed: %+v", h, h2)
+		}
+	})
+}
+
+// TestFuzzCorpusCommitted guards the committed seed corpus: each target
+// must ship at least the generator's seeds so `go test` (without -fuzz)
+// always replays them.
+func TestFuzzCorpusCommitted(t *testing.T) {
+	for _, target := range []string{"FuzzDecapsulate", "FuzzParseIPv4", "FuzzParseUDP", "FuzzParseTCP"} {
+		dir := "testdata/fuzz/" + target
+		entries, err := os.ReadDir(dir)
+		if err != nil || len(entries) == 0 {
+			t.Errorf("%s: no committed corpus in %s (regenerate with `go run gen_fuzz_corpus.go`): %v", target, dir, err)
+		}
+	}
+}
+
+// TestDecapsulateCorruptionSweep mirrors the fault plane's exact
+// corruption model deterministically: every single-bit flip of a valid
+// overlay frame must either decode or fail cleanly — no panic, no
+// over-read — and truncations at every length must fail cleanly.
+func TestDecapsulateCorruptionSweep(t *testing.T) {
+	frame := fuzzOuter()
+	for bit := 0; bit < len(frame)*8; bit++ {
+		mut := bytes.Clone(frame)
+		mut[bit/8] ^= 1 << (bit % 8)
+		if _, inner, err := Decapsulate(mut); err == nil && len(inner) > len(mut) {
+			t.Fatalf("bit %d: inner frame over-read", bit)
+		}
+	}
+	for n := 0; n <= len(frame); n++ {
+		_, _, _ = Decapsulate(frame[:n])
+		_, _ = ParseFlow(frame[:n])
+	}
+}

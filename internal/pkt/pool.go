@@ -40,19 +40,31 @@ func (f *Frame) Release() {
 	}
 	poisonFrame(f)
 	p := f.pool
+	p.puts++
 	p.free[f.class] = append(p.free[f.class], f)
 }
 
-// FramePool recycles frame buffers through per-size-class free lists.
+// FramePool recycles frame buffers through per-size-class free lists. The
+// gets/puts counters track pooled-class buffers only (over-sized fallback
+// frames are GC-owned and excluded from both sides), so Outstanding is the
+// exact leak count at any quiescent point.
 type FramePool struct {
 	free [len(frameClasses)][]*Frame
+
+	gets uint64
+	puts uint64
 }
+
+// Outstanding returns how many pooled frame buffers are checked out (Get
+// minus Release). Zero at the end of a drained run means no leaks.
+func (p *FramePool) Outstanding() int { return int(p.gets - p.puts) }
 
 // Get returns a frame buffer of length n, reusing a freed one of the same
 // size class when available.
 func (p *FramePool) Get(n int) *Frame {
 	for c, size := range frameClasses {
 		if n <= size {
+			p.gets++
 			if l := p.free[c]; len(l) > 0 {
 				f := l[len(l)-1]
 				l[len(l)-1] = nil
@@ -72,10 +84,19 @@ func (p *FramePool) Get(n int) *Frame {
 // across a flush gap) can detect that their SKB has been recycled.
 type SKBPool struct {
 	free []*SKB
+
+	gets uint64
+	puts uint64
 }
+
+// Outstanding returns how many SKBs are checked out (Get minus Put). Zero
+// at the end of a drained run means every stage honoured the single-Free
+// ownership rule.
+func (p *SKBPool) Outstanding() int { return int(p.gets - p.puts) }
 
 // Get returns a zeroed SKB owned by this pool.
 func (p *SKBPool) Get() *SKB {
+	p.gets++
 	if n := len(p.free); n > 0 {
 		s := p.free[n-1]
 		p.free[n-1] = nil
@@ -95,6 +116,7 @@ func (p *SKBPool) Put(s *SKB) {
 	if s.pooled {
 		panic("pkt: SKB double-put")
 	}
+	p.puts++
 	if s.frame != nil {
 		s.frame.Release()
 	}

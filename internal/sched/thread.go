@@ -75,6 +75,15 @@ func (t *Thread) schedule(now, cost sim.Time) sim.Time {
 	return t.core.Consume(start, cost)
 }
 
+// Stall occupies the thread's core for dur without completing any work —
+// the thread is preempted or wedged (fault injection's stalled-consumer
+// class). Queued work items finish later by exactly the stall; nothing is
+// counted as a job and no wakeup is paid.
+func (t *Thread) Stall(now, dur sim.Time) {
+	start := t.core.Acquire(now)
+	t.core.Consume(start, dur)
+}
+
 func runFn(done sim.Time, a1, _ any) { a1.(func(sim.Time))(done) }
 
 func runRunner(done sim.Time, a1, _ any) { a1.(Runner).Run(done) }

@@ -139,6 +139,23 @@ func (s *Socket) Run(done sim.Time) {
 	}
 }
 
+// Queued returns how many messages sit in the receive buffer awaiting the
+// app thread.
+func (s *Socket) Queued() int { return s.queued }
+
+// HeldFrames returns how many pooled frame buffers the pending messages
+// hold (released only after OnMessage returns). The invariant checker uses
+// it: frames parked here are in-flight, not leaked.
+func (s *Socket) HeldFrames() int {
+	n := 0
+	for i := s.head; i < len(s.pending); i++ {
+		if s.pending[i].f != nil {
+			n++
+		}
+	}
+	return n
+}
+
 type bindKey struct {
 	proto uint8
 	port  uint16
@@ -170,6 +187,13 @@ func (t *Table) Bind(proto uint8, port uint16, thread *sched.Thread, app App, re
 	s := &Socket{Proto: uint16(proto), Port: port, Thread: thread, app: app, tbl: t, RecvCap: recvCap}
 	t.socks[k] = s
 	return s, nil
+}
+
+// Each calls fn for every bound socket, in unspecified order.
+func (t *Table) Each(fn func(*Socket)) {
+	for _, s := range t.socks {
+		fn(s)
+	}
 }
 
 // Lookup finds the socket bound to (proto, dstPort), or nil.

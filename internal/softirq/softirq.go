@@ -35,6 +35,7 @@ package softirq
 
 import (
 	"prism/internal/cpu"
+	"prism/internal/fault"
 	"prism/internal/netdev"
 	"prism/internal/obs"
 	"prism/internal/pkt"
@@ -60,6 +61,10 @@ type Stats struct {
 	Packets     uint64 // packets processed through handlers
 	Delivered   uint64 // packets that reached an application socket
 	Dropped     uint64 // packets dropped by handlers or full queues
+	// Shed counts the subset of Dropped evicted by the priority-aware
+	// overload policy (low-priority victims displaced by high-priority
+	// arrivals at a full stage queue).
+	Shed uint64
 }
 
 // Queue is the dequeue surface of a device input queue; both flavours
@@ -154,6 +159,12 @@ type Engine struct {
 	// obs, when set, receives per-packet lifecycle spans and labeled
 	// metrics for every stage this engine polls.
 	obs *obs.Pipeline
+	// fault, when set, injects softirq worker stalls at run start.
+	fault *fault.Plane
+	// shed enables the priority-aware overload policy on stage
+	// transitions: a high-priority packet facing a full low queue evicts
+	// the oldest low-priority resident instead of being dropped itself.
+	shed bool
 }
 
 var _ netdev.Scheduler = (*Engine)(nil)
@@ -175,6 +186,13 @@ func (e *Engine) SetOnPoll(fn func(PollObservation)) { e.OnPoll = fn }
 
 // SetObs installs the observability pipeline (nil disables collection).
 func (e *Engine) SetObs(p *obs.Pipeline) { e.obs = p }
+
+// SetFault installs the fault plane (nil disables injection).
+func (e *Engine) SetFault(p *fault.Plane) { e.fault = p }
+
+// SetShed enables the priority-aware overload drop policy on stage
+// transitions.
+func (e *Engine) SetShed(on bool) { e.shed = on }
 
 // Core returns the processing core this engine runs on.
 func (e *Engine) Core() *cpu.Core { return e.core }
@@ -227,6 +245,13 @@ func (e *Engine) runSoftirq() {
 	e.stats.SoftirqRuns++
 	e.processed = 0
 	e.policy.Begin()
+	if d := e.fault.SoftirqStall(e.eng.Now()); d > 0 {
+		// ksoftirqd preempted: the stall occupies the core before any
+		// polling happens; pollNext re-syncs with the extended busy window
+		// through the ledger.
+		start := e.core.Acquire(e.eng.Now())
+		e.core.Consume(start, d)
+	}
 	e.pollNext()
 }
 
@@ -351,6 +376,23 @@ func (e *Engine) applyTransition(dev *netdev.Device, skb *pkt.SKB, res netdev.Re
 			if route.High {
 				ok = next.HighQ.Enqueue(skb)
 			} else {
+				if e.shed && skb.Priority > 0 && next.LowQ.Len() >= next.LowQ.Cap() {
+					// Overload shed: displace the oldest low-priority
+					// resident rather than drop a prioritized packet at a
+					// full queue. Fullness is checked before Enqueue so the
+					// queue's reject counter never records a packet that
+					// ends up admitted. The victim is accounted as a drop
+					// (Shed is the informational subset), keeping packet
+					// conservation the same either way.
+					if victim := next.LowQ.EvictLowPrio(); victim != nil {
+						e.stats.Dropped++
+						e.stats.Shed++
+						if e.obs != nil {
+							e.obs.Drop(t, next.Name, obs.StageShed, victim.ID, victim.Priority)
+						}
+						victim.Free()
+					}
+				}
 				ok = next.LowQ.Enqueue(skb)
 			}
 			if !ok {

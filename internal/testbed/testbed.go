@@ -26,6 +26,7 @@ import (
 	"fmt"
 
 	"prism/internal/cpu"
+	"prism/internal/fault"
 	"prism/internal/netdev"
 	"prism/internal/nic"
 	"prism/internal/obs"
@@ -82,6 +83,16 @@ type Spec struct {
 	// build their own shard-local pipelines ("server", "rxq%d"), keeping
 	// collection deterministic for any worker count.
 	Pipe *obs.Pipeline
+
+	// Fault, when set, builds a deterministic fault-injection plane from
+	// this configuration and threads it through every layer of the host.
+	// Monolithic only: a plane is engine-local state, and the sharded
+	// splits would need one plane per shard with split RNG streams to stay
+	// deterministic — New panics rather than silently diverge.
+	Fault *fault.Config
+	// Shed enables the priority-aware overload drop policy (NIC ring
+	// admission and softirq stage transitions shed low-priority first).
+	Shed bool
 }
 
 // clientSeed derives the client shard's RNG stream from the testbed seed;
@@ -113,11 +124,19 @@ type Testbed struct {
 	// Client is the client machine's reply demux.
 	Client *traffic.Client
 
+	// Planes holds the fault planes built from Spec.Fault (one per host;
+	// empty when not injecting). Run arms their timelines.
+	Planes []*fault.Plane
+
 	toServer []*par.Link
+	horizon  sim.Time
 }
 
 // New wires the testbed a Spec describes.
 func New(spec Spec) *Testbed {
+	if spec.Fault != nil && spec.Split != Monolithic {
+		panic("testbed: fault injection requires a Monolithic split")
+	}
 	t := &Testbed{Spec: spec}
 	switch spec.Split {
 	case Monolithic:
@@ -152,7 +171,15 @@ func (spec Spec) hostConfig(rxQueues int, pipe *obs.Pipeline) overlay.Config {
 
 func (t *Testbed) buildMonolithic(spec Spec) {
 	eng := sim.NewEngine(spec.Seed)
-	host := overlay.NewHost(eng, spec.hostConfig(spec.RxQueues, spec.Pipe))
+	cfg := spec.hostConfig(spec.RxQueues, spec.Pipe)
+	cfg.Shed = spec.Shed
+	if spec.Fault != nil {
+		plane := fault.NewPlane(eng, *spec.Fault)
+		plane.SetObs(spec.Pipe)
+		cfg.Fault = plane
+		t.Planes = []*fault.Plane{plane}
+	}
+	host := overlay.NewHost(eng, cfg)
 	t.Eng = eng
 	t.Hosts = []*overlay.Host{host}
 	t.Pipes = []*obs.Pipeline{spec.Pipe}
@@ -274,12 +301,44 @@ func (t *Testbed) Inject(q int) func(now, arrive sim.Time, frame []byte) {
 // sharded), resetting every host's processing-core utilization window at
 // the end of warmup so utilization reflects only the measured interval.
 func (t *Testbed) Run(warmup, duration sim.Time, workers int) error {
+	t.horizon = warmup + duration
 	for _, h := range t.Hosts {
 		h := h
 		h.Eng.At(warmup, func() { h.ProcCore.ResetWindow(warmup) })
 	}
-	if t.Group == nil {
-		return t.Eng.Run(warmup + duration)
+	for _, p := range t.Planes {
+		// Fault timelines stop scheduling past the horizon, so a
+		// post-run Drain terminates.
+		p.Start(t.horizon)
 	}
-	return t.Group.Run(warmup+duration, workers)
+	if t.Group == nil {
+		return t.Eng.Run(t.horizon)
+	}
+	return t.Group.Run(t.horizon, workers)
+}
+
+// Drain runs a Monolithic testbed to event-queue idle after the horizon,
+// interleaving watchdog scans: a lost IRQ with no follow-up traffic
+// strands ring packets with no event left to move them, and only a rescue
+// re-arms the device. Callers must stop their traffic generators first or
+// the engine never goes idle.
+func (t *Testbed) Drain() error {
+	if t.Eng == nil {
+		return fmt.Errorf("testbed: Drain requires a Monolithic testbed")
+	}
+	for i := 0; ; i++ {
+		if err := t.Eng.RunUntilIdle(); err != nil {
+			return err
+		}
+		rescued := 0
+		for _, p := range t.Planes {
+			rescued += p.RescueStuck(t.Eng.Now())
+		}
+		if rescued == 0 {
+			return nil
+		}
+		if i >= 64 {
+			return fmt.Errorf("testbed: drain did not converge after %d watchdog rounds", i)
+		}
+	}
 }

@@ -121,9 +121,41 @@ func TestMonolithicRunDeterministic(t *testing.T) {
 		if err := tb.Run(0, sim.Time(1_000_000), 1); err != nil {
 			t.Fatal(err)
 		}
+		// End-of-run hygiene: every injected frame is accounted for and the
+		// SKB/frame pools are back in balance (strict once the queue drains).
+		if err := tb.Drain(); err != nil {
+			t.Fatal(err)
+		}
+		if err := tb.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
 		return host.Rx.Stats().Packets
 	}
 	if a, b := run(), run(); a != b {
 		t.Errorf("same Spec produced different packet counts: %d vs %d", a, b)
+	}
+}
+
+// TestInvariantsCatchLeaks guards the checker itself: a fabricated pool
+// imbalance must be reported, so a silent pass can't hide a broken ledger.
+func TestInvariantsCatchLeaks(t *testing.T) {
+	tb := New(Spec{Split: Monolithic, Seed: 3, Mode: prio.ModeVanilla})
+	host := tb.Host()
+	frame := overlay.HostUDPToServer(4000, 5000, []byte("leak"))
+	tb.Eng.At(1000, func() { host.InjectFromWire(1000, frame) })
+	if err := tb.Run(0, sim.Time(1_000_000), 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.CheckInvariants(); err != nil {
+		t.Fatalf("clean run flagged: %v", err)
+	}
+	// Fabricate a phantom wire arrival: conservation must break.
+	host.RxWire++
+	if err := tb.CheckInvariants(); err == nil {
+		t.Error("unaccounted wire frame not detected")
+	}
+	host.RxWire--
+	if err := tb.CheckInvariants(); err != nil {
+		t.Errorf("balance not restored: %v", err)
 	}
 }

@@ -1,0 +1,168 @@
+package veth
+
+import (
+	"testing"
+
+	"prism/internal/cpu"
+	"prism/internal/netdev"
+	"prism/internal/pkt"
+	"prism/internal/sched"
+	"prism/internal/sim"
+	"prism/internal/socket"
+)
+
+// TestBacklogOverflowDropsAndRecovers models a stalled softirq consumer
+// backing up the per-CPU backlog past netdev_max_backlog: the overflow is
+// rejected with exact drop accounting and every rejected SKB returned to
+// its pool, and once the consumer resumes the whole backlog drains to the
+// sockets, the pools rebalance to zero, and new arrivals are admitted
+// again with no residual drop counts.
+func TestBacklogOverflowDropsAndRecovers(t *testing.T) {
+	eng := sim.NewEngine(1)
+	costs := netdev.DefaultCosts()
+	b := NewBacklog("veth0", costs)
+
+	tbl := socket.NewTable("ctr0")
+	th := sched.NewThread("app", eng, cpu.NewCore(1, nil), 0)
+	var got []socket.Message
+	app := socket.AppFunc{Fn: func(_ sim.Time, m socket.Message) { got = append(got, m) }}
+	// rcvbuf 0 = unlimited, so the socket absorbs the full backlog.
+	if _, err := tbl.Bind(pkt.ProtoUDP, 9000, th, app, 0); err != nil {
+		t.Fatal(err)
+	}
+	b.Register(ctrMAC, ctrIP, tbl)
+
+	var skbs pkt.SKBPool
+	var frames pkt.FramePool
+	wire := pkt.BuildUDPFrame(pkt.UDPFrameSpec{
+		SrcMAC: srcMAC, DstMAC: ctrMAC, SrcIP: srcIP, DstIP: ctrIP,
+		SrcPort: 5, DstPort: 9000, Payload: []byte("backlog"),
+	})
+	flow, err := pkt.ParseFlow(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mkSKB := func() *pkt.SKB {
+		s := skbs.Get()
+		f := frames.Get(len(wire))
+		copy(f.B, wire)
+		s.SetFrame(f)
+		s.Flow = flow
+		return s
+	}
+
+	// Phase 1 — consumer stalled: arrivals keep landing in the backlog
+	// queue until netdev_max_backlog, then overflow. The producer (softirq
+	// routing a stage transition) owns and frees each rejected SKB.
+	const overflow = 50
+	for i := 0; i < QueueCap+overflow; i++ {
+		s := mkSKB()
+		if !b.Dev.LowQ.Enqueue(s) {
+			s.Free()
+		}
+	}
+	if got, want := b.Dev.LowQ.Len(), QueueCap; got != want {
+		t.Fatalf("backlog depth = %d, want %d", got, want)
+	}
+	if b.Dev.LowQ.Dropped != overflow {
+		t.Fatalf("Dropped = %d, want %d", b.Dev.LowQ.Dropped, overflow)
+	}
+	if out := skbs.Outstanding(); out != QueueCap {
+		t.Fatalf("SKBs outstanding while stalled = %d, want %d (rejected ones freed)", out, QueueCap)
+	}
+
+	// Phase 2 — consumer resumes: drain the backlog the way process_backlog
+	// does — handle, then hand delivered packets to their socket sink.
+	now := sim.Time(1000)
+	for s := b.Dev.LowQ.Dequeue(); s != nil; s = b.Dev.LowQ.Dequeue() {
+		res := b.handle(now, s)
+		if res.Verdict == netdev.VerdictDeliver {
+			res.Sink.DeliverSKB(now, s)
+		} else {
+			s.Free()
+		}
+		now += res.Cost
+	}
+	if err := eng.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != QueueCap {
+		t.Fatalf("delivered %d messages after resume, want %d", len(got), QueueCap)
+	}
+	if out := skbs.Outstanding(); out != 0 {
+		t.Fatalf("SKB pool leak after drain: %d outstanding", out)
+	}
+	if out := frames.Outstanding(); out != 0 {
+		t.Fatalf("frame pool leak after drain: %d outstanding", out)
+	}
+
+	// Phase 3 — recovered: the next arrival is admitted and delivered, and
+	// no new drops are charged.
+	s := mkSKB()
+	if !b.Dev.LowQ.Enqueue(s) {
+		t.Fatal("recovered backlog rejected a new arrival")
+	}
+	s = b.Dev.LowQ.Dequeue()
+	res := b.handle(now, s)
+	if res.Verdict != netdev.VerdictDeliver {
+		t.Fatalf("post-recovery verdict = %v", res.Verdict)
+	}
+	res.Sink.DeliverSKB(now, s)
+	if err := eng.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != QueueCap+1 {
+		t.Fatalf("post-recovery deliveries = %d, want %d", len(got), QueueCap+1)
+	}
+	if b.Dev.LowQ.Dropped != overflow {
+		t.Fatalf("Dropped moved to %d after recovery, want %d", b.Dev.LowQ.Dropped, overflow)
+	}
+	if skbs.Outstanding() != 0 || frames.Outstanding() != 0 {
+		t.Fatalf("pool leak after recovery: skbs=%d frames=%d", skbs.Outstanding(), frames.Outstanding())
+	}
+}
+
+// TestBacklogShedPrefersLowPriority exercises the overload policy at the
+// backlog queue: with the queue full of best-effort packets, EvictLowPrio
+// makes room for a prioritized arrival, and a queue full of prioritized
+// packets yields no victim.
+func TestBacklogShedPrefersLowPriority(t *testing.T) {
+	q := netdev.NewQueue(4)
+	var skbs pkt.SKBPool
+	fill := func(prio int) {
+		for q.Len() < q.Cap() {
+			s := skbs.Get()
+			s.Priority = prio
+			q.Enqueue(s)
+		}
+	}
+
+	fill(0)
+	victim := q.EvictLowPrio()
+	if victim == nil {
+		t.Fatal("no victim among best-effort packets")
+	}
+	victim.Free()
+	hi := skbs.Get()
+	hi.Priority = 1
+	if !q.Enqueue(hi) {
+		t.Fatal("high-priority arrival rejected after eviction")
+	}
+	if q.Dropped != 0 {
+		t.Fatalf("eviction charged Dropped = %d, want 0 (shed is accounted by the caller)", q.Dropped)
+	}
+
+	for s := q.Dequeue(); s != nil; s = q.Dequeue() {
+		s.Free()
+	}
+	fill(1)
+	if v := q.EvictLowPrio(); v != nil {
+		t.Fatalf("evicted a prioritized packet: %+v", v)
+	}
+	for s := q.Dequeue(); s != nil; s = q.Dequeue() {
+		s.Free()
+	}
+	if skbs.Outstanding() != 0 {
+		t.Fatalf("pool leak: %d outstanding", skbs.Outstanding())
+	}
+}
