@@ -14,6 +14,7 @@ import (
 	"testing"
 
 	"prism"
+	"prism/internal/cluster"
 	"prism/internal/experiments"
 	"prism/internal/prio"
 	"prism/internal/sim"
@@ -361,4 +362,28 @@ func BenchmarkParallelScaling(b *testing.B) {
 			record(b, fig11Pkts(p, loads), metrics)
 		})
 	}
+}
+
+// BenchmarkClusterSweep — the multi-host datacenter experiment at reduced
+// scale: 8 hosts with the full ToR fabric and admission control plane,
+// 200 containers under priority-aware placement. One op is one complete
+// cluster simulation (build, run, settle, invariant check).
+func BenchmarkClusterSweep(b *testing.B) {
+	p := benchParams()
+	cc := experiments.ClusterConfig{
+		Hosts:      8,
+		Containers: 200,
+		Placements: []cluster.Placement{cluster.PlacePriority},
+	}
+	var res experiments.ClusterResult
+	for i := 0; i < b.N; i++ {
+		res = experiments.Cluster(p, cc)
+	}
+	row := res.Rows[0]
+	record(b, float64(2*(row.HiSent+row.LoSent))+float64(row.FloodRecv), map[string]float64{
+		"hi-p99-µs":       row.Hi.P99.Micros(),
+		"lo-p99-µs":       row.Lo.P99.Micros(),
+		"fabric-util-max": row.FabricUtilMax,
+		"admit-denied":    float64(row.AdmitDenied),
+	})
 }

@@ -11,10 +11,12 @@
 //	prismsim -exp stages -metrics-out m.prom -trace-out t.json
 //	prismsim -exp policies            # softirq poll-policy ablation ladder
 //	prismsim -exp policies -policy headonly   # one policy variant only
+//	prismsim -exp cluster -hosts 16 -containers 1000   # datacenter run
 //
 // -parallel N runs multi-point experiments (fig9, fig10, fig11, scaling,
 // and the sweeps) with up to N parameter points in flight, each on its own
-// engine (internal/par). Results are bit-identical for every N.
+// engine (internal/par), and shards the cluster experiment's hosts and
+// switches over N workers. Results are bit-identical for every N.
 //
 // -metrics-out and -trace-out run the instrumented stages experiment (or
 // accompany -exp stages) and export its observability data: metrics as a
@@ -27,17 +29,146 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
+	"prism/internal/cluster"
 	"prism/internal/experiments"
 	"prism/internal/obs"
 	"prism/internal/sim"
 	"prism/internal/stats"
 )
 
+// appCtx carries the parsed flags into the experiment runners.
+type appCtx struct {
+	p experiments.Params
+
+	cdf        bool
+	policy     string
+	faultrate  float64
+	hosts      int
+	containers int
+	placement  string
+	metricsOut string
+	traceOut   string
+}
+
+// experiment is one registry entry: the -exp name and its runner. The
+// usage string, validation, and dispatch all derive from the registry, so
+// adding an experiment is one entry here and nothing else.
+type experiment struct {
+	name string
+	run  func(a *appCtx)
+}
+
+// registry lists every experiment in presentation order.
+var registry = []experiment{
+	{"fig3", func(a *appCtx) {
+		r := experiments.Fig3(a.p)
+		fmt.Println(r)
+		if a.cdf {
+			fmt.Println("idle CDF (µs, fraction):")
+			fmt.Print(stats.FormatCDF(r.IdleCDF))
+			fmt.Println("busy CDF (µs, fraction):")
+			fmt.Print(stats.FormatCDF(r.BusyCDF))
+		}
+	}},
+	{"fig6", func(a *appCtx) { fmt.Println(experiments.Fig6(a.p)) }},
+	{"fig8", func(a *appCtx) { fmt.Println(experiments.Fig8(a.p)) }},
+	{"fig9", func(a *appCtx) {
+		r := experiments.Fig9(a.p)
+		fmt.Println(r)
+		if a.cdf {
+			fmt.Println("idle CDF (µs, fraction):")
+			fmt.Print(stats.FormatCDF(r.IdleCDF))
+			for _, row := range r.Rows {
+				fmt.Printf("%s busy CDF (µs, fraction):\n", row.Mode)
+				fmt.Print(stats.FormatCDF(row.BusyCDF))
+			}
+		}
+	}},
+	{"fig10", func(a *appCtx) { fmt.Println(experiments.Fig10(a.p)) }},
+	{"fig11", func(a *appCtx) { fmt.Println(experiments.Fig11(a.p, nil)) }},
+	{"fig12", func(a *appCtx) { fmt.Println(experiments.Fig12(a.p)) }},
+	{"fig13", func(a *appCtx) { fmt.Println(experiments.Fig13(a.p)) }},
+	{"extdriver", func(a *appCtx) { fmt.Println(experiments.ExtDriver(a.p)) }},
+	{"policies", func(a *appCtx) {
+		r := experiments.Policies(a.p, experiments.PolicyByName(a.policy))
+		fmt.Println(r)
+		if a.cdf {
+			for _, row := range r.Rows {
+				fmt.Printf("%s busy CDF (µs, fraction):\n", row.Variant.Label())
+				fmt.Print(stats.FormatCDF(row.BusyCDF))
+			}
+		}
+	}},
+	{"chaos", func(a *appCtx) {
+		fmt.Println(experiments.Chaos(a.p, nil, experiments.ChaosRates(a.faultrate)))
+	}},
+	{"batchsweep", func(a *appCtx) { fmt.Println(experiments.AblationBatch(a.p, nil)) }},
+	{"scaling", func(a *appCtx) { fmt.Println(experiments.Scaling(a.p, nil)) }},
+	{"cluster", func(a *appCtx) {
+		cc := experiments.DefaultClusterConfig()
+		if a.hosts > 0 {
+			cc.Hosts = a.hosts
+		}
+		if a.containers > 0 {
+			cc.Containers = a.containers
+		}
+		if a.placement != "" && a.placement != "all" {
+			pol, err := cluster.ParsePlacement(a.placement)
+			if err != nil {
+				fatal(err)
+			}
+			cc.Placements = []cluster.Placement{pol}
+		}
+		fmt.Println(experiments.Cluster(a.p, cc))
+	}},
+	{"stages", func(a *appCtx) {
+		r := experiments.Stages(a.p)
+		fmt.Println(r)
+		if a.metricsOut != "" {
+			if err := writeMetrics(a.metricsOut, r.MergedRegistry()); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("metrics written to %s\n", a.metricsOut)
+		}
+		if a.traceOut != "" {
+			if err := writeTrace(a.traceOut, r.TraceProcesses()); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("trace written to %s (load in Perfetto / chrome://tracing)\n", a.traceOut)
+		}
+	}},
+}
+
+// expNames renders the registry's names for the usage string.
+func expNames() string {
+	names := make([]string, len(registry))
+	for i, e := range registry {
+		names[i] = e.name
+	}
+	return strings.Join(names, "|")
+}
+
+// selectExperiments resolves the -exp value against the registry: a
+// single name, or "all" for the whole list. Unknown names fail fast with
+// the valid set.
+func selectExperiments(name string) ([]experiment, error) {
+	if name == "all" {
+		return registry, nil
+	}
+	for _, e := range registry {
+		if e.name == name {
+			return []experiment{e}, nil
+		}
+	}
+	return nil, fmt.Errorf("unknown experiment %q (valid: %s|all)", name, expNames())
+}
+
 func main() {
 	var (
-		exp       = flag.String("exp", "all", "experiment: fig3|fig6|fig8|fig9|fig10|fig11|fig12|fig13|extdriver|batchsweep|scaling|stages|policies|chaos|all")
+		exp       = flag.String("exp", "all", "experiment: "+expNames()+"|all")
 		seed      = flag.Uint64("seed", 42, "simulation seed")
 		duration  = flag.Duration("duration", time.Second, "measured duration (virtual time)")
 		warmup    = flag.Duration("warmup", 100*time.Millisecond, "warmup (virtual time)")
@@ -48,7 +179,11 @@ func main() {
 		cdf       = flag.Bool("cdf", false, "dump CDF points for CDF figures")
 		policy    = flag.String("policy", "all", "softirq poll policy for -exp policies: vanilla|dualq|headonly|prism|all")
 		faultrate = flag.Float64("faultrate", 0.4, "chaos experiment's top fault intensity (the ladder is 0, r/4, r/2, r)")
-		parallel  = flag.Int("parallel", 1, "worker count for multi-point experiments (deterministic: results identical for any value)")
+		parallel  = flag.Int("parallel", 1, "worker count for multi-point and cluster experiments (deterministic: results identical for any value)")
+
+		hosts      = flag.Int("hosts", 0, "cluster experiment host count (0 = default 16)")
+		containers = flag.Int("containers", 0, "cluster experiment container count (0 = default 1000)")
+		placement  = flag.String("placement", "all", "cluster placement policy: spread|pack|priority|all")
 
 		metricsOut = flag.String("metrics-out", "", "write the stages experiment's metrics here (.json = JSON snapshot, otherwise Prometheus text)")
 		traceOut   = flag.String("trace-out", "", "write the stages experiment's span streams here as Chrome trace-event JSON")
@@ -58,6 +193,13 @@ func main() {
 	// Export flags imply the instrumented experiment.
 	if (*metricsOut != "" || *traceOut != "") && *exp == "all" {
 		*exp = "stages"
+	}
+
+	selected, err := selectExperiments(*exp)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		flag.Usage()
+		os.Exit(2)
 	}
 
 	p := experiments.Default()
@@ -70,78 +212,19 @@ func main() {
 	p.BGBurst = *burst
 	p.Workers = *parallel
 
-	ok := false
-	run := func(name string, fn func()) {
-		if *exp == name || *exp == "all" {
-			fn()
-			ok = true
-		}
+	a := &appCtx{
+		p:          p,
+		cdf:        *cdf,
+		policy:     *policy,
+		faultrate:  *faultrate,
+		hosts:      *hosts,
+		containers: *containers,
+		placement:  *placement,
+		metricsOut: *metricsOut,
+		traceOut:   *traceOut,
 	}
-	run("fig3", func() {
-		r := experiments.Fig3(p)
-		fmt.Println(r)
-		if *cdf {
-			fmt.Println("idle CDF (µs, fraction):")
-			fmt.Print(stats.FormatCDF(r.IdleCDF))
-			fmt.Println("busy CDF (µs, fraction):")
-			fmt.Print(stats.FormatCDF(r.BusyCDF))
-		}
-	})
-	run("fig6", func() { fmt.Println(experiments.Fig6(p)) })
-	run("fig8", func() { fmt.Println(experiments.Fig8(p)) })
-	run("fig9", func() {
-		r := experiments.Fig9(p)
-		fmt.Println(r)
-		if *cdf {
-			fmt.Println("idle CDF (µs, fraction):")
-			fmt.Print(stats.FormatCDF(r.IdleCDF))
-			for _, row := range r.Rows {
-				fmt.Printf("%s busy CDF (µs, fraction):\n", row.Mode)
-				fmt.Print(stats.FormatCDF(row.BusyCDF))
-			}
-		}
-	})
-	run("fig10", func() { fmt.Println(experiments.Fig10(p)) })
-	run("fig11", func() { fmt.Println(experiments.Fig11(p, nil)) })
-	run("fig12", func() { fmt.Println(experiments.Fig12(p)) })
-	run("fig13", func() { fmt.Println(experiments.Fig13(p)) })
-	run("extdriver", func() { fmt.Println(experiments.ExtDriver(p)) })
-	run("policies", func() {
-		r := experiments.Policies(p, experiments.PolicyByName(*policy))
-		fmt.Println(r)
-		if *cdf {
-			for _, row := range r.Rows {
-				fmt.Printf("%s busy CDF (µs, fraction):\n", row.Variant.Label())
-				fmt.Print(stats.FormatCDF(row.BusyCDF))
-			}
-		}
-	})
-	run("chaos", func() {
-		fmt.Println(experiments.Chaos(p, nil, experiments.ChaosRates(*faultrate)))
-	})
-	run("batchsweep", func() { fmt.Println(experiments.AblationBatch(p, nil)) })
-	run("scaling", func() { fmt.Println(experiments.Scaling(p, nil)) })
-	run("stages", func() {
-		r := experiments.Stages(p)
-		fmt.Println(r)
-		if *metricsOut != "" {
-			if err := writeMetrics(*metricsOut, r.MergedRegistry()); err != nil {
-				fatal(err)
-			}
-			fmt.Printf("metrics written to %s\n", *metricsOut)
-		}
-		if *traceOut != "" {
-			if err := writeTrace(*traceOut, r.TraceProcesses()); err != nil {
-				fatal(err)
-			}
-			fmt.Printf("trace written to %s (load in Perfetto / chrome://tracing)\n", *traceOut)
-		}
-	})
-
-	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
-		flag.Usage()
-		os.Exit(2)
+	for _, e := range selected {
+		e.run(a)
 	}
 }
 

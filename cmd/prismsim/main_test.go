@@ -1,0 +1,56 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// The registry is the single source of truth for -exp: names must be
+// unique and non-empty, every runner wired, and the usage string derived
+// from it must list each one.
+func TestRegistryWellFormed(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range registry {
+		if e.name == "" {
+			t.Error("registry entry with empty name")
+		}
+		if e.name == "all" {
+			t.Error(`"all" is reserved for the whole registry and cannot name an entry`)
+		}
+		if seen[e.name] {
+			t.Errorf("duplicate registry entry %q", e.name)
+		}
+		seen[e.name] = true
+		if e.run == nil {
+			t.Errorf("registry entry %q has no runner", e.name)
+		}
+	}
+	if !seen["cluster"] {
+		t.Error("registry is missing the cluster experiment")
+	}
+
+	usage := expNames()
+	for _, e := range registry {
+		if !strings.Contains(usage, e.name) {
+			t.Errorf("usage string %q omits experiment %q", usage, e.name)
+		}
+	}
+}
+
+func TestSelectExperiments(t *testing.T) {
+	all, err := selectExperiments("all")
+	if err != nil || len(all) != len(registry) {
+		t.Fatalf(`selectExperiments("all") = %d entries, err %v; want the full registry`, len(all), err)
+	}
+
+	one, err := selectExperiments("cluster")
+	if err != nil || len(one) != 1 || one[0].name != "cluster" {
+		t.Fatalf(`selectExperiments("cluster") = %v, err %v`, one, err)
+	}
+
+	if _, err := selectExperiments("fig99"); err == nil {
+		t.Fatal("unknown experiment name accepted")
+	} else if msg := err.Error(); !strings.Contains(msg, "fig99") || !strings.Contains(msg, "cluster") {
+		t.Fatalf("error should name the bad input and list valid experiments, got: %v", msg)
+	}
+}

@@ -1,0 +1,612 @@
+// Package cluster scales the paper's single-host model out to a simulated
+// datacenter: N hosts — each the full NIC→softirq→overlay→socket pipeline
+// built from a testbed.Spec — connected by a two-tier ToR/spine fabric,
+// with a deterministic control plane (container placement, per-host
+// admission, snapshot-based flow routing) on top.
+//
+// Every host and every switch is one internal/par shard; all inter-shard
+// traffic rides cross-shard links whose lookahead is the cable
+// propagation delay, so a cluster run is bit-identical at any worker
+// count — the same contract the single-host splits already honor.
+//
+// A flow's life: the ingress host's client machine emits a request frame;
+// the ingress token bucket admits or refuses it; admitted frames ride the
+// host→ToR uplink, are classified by the ToR against the control-plane
+// snapshot (inner destination port → host), hop via the spine when the
+// destination is in another rack, and enter the destination host's NIC
+// like any wire arrival. The reply leaves over the host's WireTx, is
+// routed back to the ingress host by the client-port route, and lands in
+// that host's client demux, closing the latency sample.
+package cluster
+
+import (
+	"fmt"
+
+	"prism/internal/fault"
+	"prism/internal/netdev"
+	"prism/internal/obs"
+	"prism/internal/overlay"
+	"prism/internal/par"
+	"prism/internal/prio"
+	"prism/internal/sim"
+	"prism/internal/stats"
+	"prism/internal/testbed"
+	"prism/internal/traffic"
+)
+
+// Port bases: service ports identify destination containers, client ports
+// identify flows (reply routing). Container IPs repeat across hosts —
+// every host derives them from its local container index — so ports are
+// the only globally unique flow identity and all fabric routing keys on
+// them.
+const (
+	SvcPortBase = 20000
+	CliPortBase = 40000
+)
+
+// SvcPort is container i's service port; CliPort its flow's client-side
+// source port.
+func SvcPort(i int) uint16 { return uint16(SvcPortBase + i) }
+
+// CliPort is flow i's client-side source port (the reply destination).
+func CliPort(i int) uint16 { return uint16(CliPortBase + i) }
+
+// Config declares a whole cluster as data.
+type Config struct {
+	// Hosts is the number of simulated server hosts.
+	Hosts int
+	// HostCap bounds containers per host for the placer (default 200;
+	// the overlay's address space caps it at 248).
+	HostCap int
+	// Placement is the container scheduling policy.
+	Placement Placement
+	// Seed drives every random stream; per-host engine and fault seeds
+	// are derived from it.
+	Seed uint64
+	// Host is the per-host template: NIC config, cost model, mode,
+	// policy, shed, fault plane. Split and Pipe are ignored (every host
+	// is built standalone with its own pipeline); Seed and the fault
+	// seed are re-derived per host.
+	Host testbed.Spec
+	// Specs declares the container workload; index order is part of the
+	// deterministic contract (ports and placement derive from it).
+	Specs []ContainerSpec
+	// Admission configures the per-host ingress token bucket; nil
+	// disables admission control.
+	Admission *Admission
+	// Fabric sizes the switching fabric.
+	Fabric FabricConfig
+	// Warmup is discarded from latency/utilization accounting.
+	Warmup sim.Time
+	// EchoCost / SinkCost are the per-request application CPU costs.
+	EchoCost sim.Time
+	SinkCost sim.Time
+	// ObsSampling keeps one traced packet in N per pipeline (metrics are
+	// never sampled); 0 defaults to 16 — a 1000-container cluster's full
+	// span stream would otherwise dominate digest time. 1 disables
+	// sampling.
+	ObsSampling int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Hosts < 1 {
+		c.Hosts = 1
+	}
+	if c.HostCap <= 0 {
+		c.HostCap = 200
+	}
+	if c.HostCap > 248 {
+		c.HostCap = 248
+	}
+	if c.EchoCost <= 0 {
+		c.EchoCost = 500 * sim.Nanosecond
+	}
+	if c.SinkCost <= 0 {
+		c.SinkCost = 600 * sim.Nanosecond
+	}
+	if c.ObsSampling <= 0 {
+		c.ObsSampling = 16
+	}
+	return c
+}
+
+// hostSeed derives host i's engine RNG stream.
+func hostSeed(seed uint64, i int) uint64 { return seed + uint64(i)*0x9e3779b97f4a7c15 }
+
+// switchSeed derives a switch's engine RNG stream (unused by the model,
+// but every engine needs one).
+func switchSeed(seed uint64, i int) uint64 { return seed ^ 0x70c0ffee ^ uint64(i)*0x517cc1b727220a95 }
+
+// Node is one host plus its cluster-side plumbing.
+type Node struct {
+	ID    int
+	Name  string
+	Shard *par.Shard
+	Host  *overlay.Host
+	Pipe  *obs.Pipeline
+	Plane *fault.Plane
+	// Client demuxes reply frames for flows whose ingress is this host.
+	Client *traffic.Client
+	// Bucket is the ingress admission bucket (nil = admit all).
+	Bucket *TokenBucket
+	// Up is the host→ToR uplink.
+	Up *par.Link
+
+	// Injected counts frames this node pushed into the fabric (admitted
+	// requests + server replies); FromFabric counts fabric frames
+	// delivered into the host's NIC path; ToClients counts reply frames
+	// delivered to the client demux; Misrouted counts frames the fabric
+	// delivered here by mistake (always zero unless the fabric is
+	// broken).
+	Injected   uint64
+	FromFabric uint64
+	ToClients  uint64
+	Misrouted  uint64
+}
+
+// Flow is one placed container workload and its generator.
+type Flow struct {
+	Index   int
+	Spec    ContainerSpec
+	HostID  int
+	Ingress int
+	// PP is the latency flow (nil for floods); Flood the open-loop
+	// background (nil for echoes).
+	PP    *traffic.PingPong
+	Flood *traffic.UDPFlood
+}
+
+// Cluster is one fully wired instance of a Config.
+type Cluster struct {
+	Cfg        Config
+	Group      *par.Group
+	Nodes      []*Node
+	Tors       []*Switch
+	Spine      *Switch // nil when the fabric has a single rack
+	Snap       *Snapshot
+	Assignment []int
+	Flows      []*Flow
+
+	links   []*par.Link
+	perRack int
+	horizon sim.Time
+}
+
+// New wires the cluster a Config describes: place containers, build the
+// routing snapshot, instantiate hosts and switches on their shards, and
+// attach every flow. The returned cluster is ready to Run.
+func New(cfg Config) (*Cluster, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Specs) == 0 {
+		return nil, fmt.Errorf("cluster: no container specs")
+	}
+	if len(cfg.Specs) > CliPortBase-SvcPortBase || CliPortBase+len(cfg.Specs) > 65535 {
+		return nil, fmt.Errorf("cluster: %d containers exceed the port space", len(cfg.Specs))
+	}
+	costs := cfg.Host.Costs
+	if costs == nil {
+		costs = netdev.DefaultCosts()
+	}
+	fc := cfg.Fabric.withDefaults(cfg.Hosts, costs.WireLatency)
+	cfg.Fabric = fc
+
+	assign, err := Place(cfg.Placement, cfg.Specs, cfg.Hosts, cfg.HostCap)
+	if err != nil {
+		return nil, err
+	}
+
+	// Control-plane snapshot: service ports route to the placed host,
+	// client ports route replies back to the flow's ingress host.
+	routes := make(map[uint16]Route, 2*len(cfg.Specs))
+	ingressOf := func(i int) int {
+		in := cfg.Specs[i].Ingress
+		if in < 0 || in >= cfg.Hosts {
+			in = (i*13 + 7) % cfg.Hosts
+		}
+		return in
+	}
+	for i, sp := range cfg.Specs {
+		routes[SvcPort(i)] = Route{Host: assign[i], Hi: sp.Hi}
+		routes[CliPort(i)] = Route{Host: ingressOf(i), Hi: sp.Hi, ToClient: true}
+	}
+	snap := NewSnapshot(1, routes)
+
+	c := &Cluster{Cfg: cfg, Group: par.NewGroup(), Snap: snap, Assignment: assign}
+	c.perRack = (cfg.Hosts + fc.Racks - 1) / fc.Racks
+
+	// Hosts, one shard each, with derived seeds and fault streams.
+	for i := 0; i < cfg.Hosts; i++ {
+		name := fmt.Sprintf("host%02d", i)
+		hspec := cfg.Host
+		hspec.Split = testbed.Monolithic
+		hspec.Seed = hostSeed(cfg.Seed, i)
+		hspec.Pipe = nil
+		if hspec.Fault != nil {
+			f := *hspec.Fault
+			f.Seed = hspec.Seed ^ faultSalt
+			hspec.Fault = &f
+		}
+		eng := sim.NewEngine(hspec.Seed)
+		shard := c.Group.Add(name, eng)
+		host, pipe, plane := hspec.BuildHost(eng, name)
+		pipe.T.SetSampling(cfg.ObsSampling)
+		n := &Node{
+			ID: i, Name: name, Shard: shard, Host: host, Pipe: pipe, Plane: plane,
+			Client: traffic.NewClient(host),
+			Bucket: NewTokenBucket(admissionOrZero(cfg.Admission)),
+		}
+		c.Nodes = append(c.Nodes, n)
+	}
+
+	// Switches: one ToR per rack, plus a spine when there is more than
+	// one rack.
+	for r := 0; r < fc.Racks; r++ {
+		tor := newSwitch(c.Group, fmt.Sprintf("tor%02d", r), switchSeed(cfg.Seed, r), fc.TorLatency, fc, snap)
+		tor.Pipe.T.SetSampling(cfg.ObsSampling)
+		c.Tors = append(c.Tors, tor)
+	}
+	if fc.Racks > 1 {
+		c.Spine = newSwitch(c.Group, "spine", switchSeed(cfg.Seed, fc.Racks), fc.SpineLatency, fc, snap)
+		c.Spine.Pipe.T.SetSampling(cfg.ObsSampling)
+	}
+
+	// Host↔ToR links and the ToRs' downlink port maps.
+	torDown := make([]map[int]*Port, fc.Racks)
+	for r := range torDown {
+		torDown[r] = make(map[int]*Port)
+	}
+	for _, n := range c.Nodes {
+		n := n
+		r := c.rackOf(n.ID)
+		tor := c.Tors[r]
+		n.Up = c.connect(n.Shard, tor.Shard, fc.HostLink, func(at sim.Time, payload any) {
+			tor.Receive(at, payload.([]byte))
+		})
+		down := c.connect(tor.Shard, n.Shard, fc.HostLink, func(at sim.Time, payload any) {
+			c.deliverToNode(n, at, payload.([]byte))
+		})
+		torDown[r][n.ID] = tor.addPort(fmt.Sprintf("%s->%s", tor.Name, n.Name), down, fc.HostLink)
+
+		host := n.Host
+		host.WireTx = func(now, arrive sim.Time, frame []byte) {
+			n.Injected++
+			n.Up.Send(now, arrive-now, frame)
+		}
+	}
+
+	// ToR↔spine links and the routing closures.
+	if c.Spine != nil {
+		spineDown := make([]*Port, fc.Racks)
+		for r, tor := range c.Tors {
+			r, tor := r, tor
+			upLink := c.connect(tor.Shard, c.Spine.Shard, fc.SpineLink, func(at sim.Time, payload any) {
+				c.Spine.Receive(at, payload.([]byte))
+			})
+			torUp := tor.addPort(fmt.Sprintf("%s->spine", tor.Name), upLink, fc.SpineLink)
+			downLink := c.connect(c.Spine.Shard, tor.Shard, fc.SpineLink, func(at sim.Time, payload any) {
+				tor.Receive(at, payload.([]byte))
+			})
+			spineDown[r] = c.Spine.addPort(fmt.Sprintf("spine->%s", tor.Name), downLink, fc.SpineLink)
+
+			down := torDown[r]
+			tor.portFor = func(rt Route) *Port {
+				if p, ok := down[rt.Host]; ok {
+					return p
+				}
+				return torUp
+			}
+		}
+		c.Spine.portFor = func(rt Route) *Port { return spineDown[c.rackOf(rt.Host)] }
+	} else {
+		down := torDown[0]
+		c.Tors[0].portFor = func(rt Route) *Port { return down[rt.Host] }
+	}
+
+	// Containers and their flows.
+	for i, sp := range cfg.Specs {
+		sp := sp
+		if sp.Name == "" {
+			sp.Name = fmt.Sprintf("c%04d", i)
+		}
+		dst := c.Nodes[assign[i]]
+		ctr := dst.Host.AddContainer(sp.Name)
+		if sp.Hi {
+			dst.Host.DB.Add(prio.Rule{IP: ctr.IP, Port: SvcPort(i)})
+		}
+		in := c.Nodes[ingressOf(i)]
+		src := overlay.ClientContainer(i, CliPort(i))
+		inject := c.injectVia(in, sp.Hi)
+		// Desynchronized deterministic start phases keep the cluster's
+		// generators from emitting in lockstep.
+		startAt := sim.Time(i%97) * 53 * sim.Microsecond
+		fl := &Flow{Index: i, Spec: sp, HostID: assign[i], Ingress: in.ID}
+		if sp.Flood {
+			f := traffic.NewUDPFlood(in.Shard.Eng, dst.Host, ctr, src, SvcPort(i), sp.Rate)
+			f.Burst = 32
+			f.Poisson = false
+			f.JitterFrac = 0.2
+			if err := f.InstallSink(cfg.SinkCost); err != nil {
+				return nil, fmt.Errorf("cluster: %s: %w", sp.Name, err)
+			}
+			f.Inject = inject
+			f.Start(startAt)
+			fl.Flood = f
+		} else {
+			pp := traffic.NewPingPong(in.Shard.Eng, dst.Host, ctr, src, SvcPort(i), sp.Rate)
+			pp.Warmup = cfg.Warmup
+			if err := pp.InstallEcho(cfg.EchoCost); err != nil {
+				return nil, fmt.Errorf("cluster: %s: %w", sp.Name, err)
+			}
+			pp.Inject = inject
+			pp.Start(in.Client, startAt)
+			fl.PP = pp
+		}
+		c.Flows = append(c.Flows, fl)
+	}
+	return c, nil
+}
+
+// faultSalt perturbs each host's fault-plane RNG stream away from its
+// engine stream.
+const faultSalt uint64 = 0x5eedfa017
+
+func admissionOrZero(a *Admission) Admission {
+	if a == nil {
+		return Admission{}
+	}
+	return *a
+}
+
+// connect wraps Group.Connect, remembering the link for in-flight
+// accounting.
+func (c *Cluster) connect(src, dst *par.Shard, lookahead sim.Time, deliver func(at sim.Time, payload any)) *par.Link {
+	l := c.Group.Connect(src, dst, lookahead, deliver)
+	c.links = append(c.links, l)
+	return l
+}
+
+// rackOf maps a host ID to its rack (ID-block assignment).
+func (c *Cluster) rackOf(host int) int { return host / c.perRack }
+
+// injectVia builds the generator hook for a flow entering at node in: the
+// admission decision, then the uplink. Runs in event context on the
+// ingress shard.
+func (c *Cluster) injectVia(in *Node, hi bool) func(now, arrive sim.Time, frame []byte) {
+	return func(now, arrive sim.Time, frame []byte) {
+		if !in.Bucket.Admit(now, hi) {
+			return
+		}
+		in.Injected++
+		in.Up.Send(now, arrive-now, frame)
+	}
+}
+
+// deliverToNode terminates a fabric downlink: requests enter the host's
+// NIC path, replies the client demux. Runs in event context on the node's
+// shard.
+func (c *Cluster) deliverToNode(n *Node, at sim.Time, frame []byte) {
+	rt, ok := classify(c.Snap, frame)
+	if !ok || rt.Host != n.ID {
+		n.Misrouted++
+		return
+	}
+	if rt.ToClient {
+		n.ToClients++
+		n.Client.Deliver(at, frame)
+		return
+	}
+	n.FromFabric++
+	n.Host.InjectFromWire(at, frame)
+}
+
+// switches returns every switch in shard order.
+func (c *Cluster) switches() []*Switch {
+	sw := make([]*Switch, 0, len(c.Tors)+1)
+	sw = append(sw, c.Tors...)
+	if c.Spine != nil {
+		sw = append(sw, c.Spine)
+	}
+	return sw
+}
+
+// Run executes warmup + duration with the given worker count, resetting
+// every host core's and fabric port's utilization window at the end of
+// warmup, and arming the hosts' fault timelines.
+func (c *Cluster) Run(duration sim.Time, workers int) error {
+	c.horizon = c.Cfg.Warmup + duration
+	warmup := c.Cfg.Warmup
+	for _, n := range c.Nodes {
+		n := n
+		n.Host.Eng.At(warmup, func() { n.Host.ProcCore.ResetWindow(warmup) })
+		if n.Plane != nil {
+			n.Plane.Start(c.horizon)
+		}
+	}
+	for _, sw := range c.switches() {
+		sw := sw
+		sw.Shard.Eng.At(warmup, func() { sw.resetWindow(warmup) })
+	}
+	return c.Group.Run(c.horizon, workers)
+}
+
+// Stop ceases every generator after its current emission.
+func (c *Cluster) Stop() {
+	for _, f := range c.Flows {
+		if f.PP != nil {
+			f.PP.Stop()
+		}
+		if f.Flood != nil {
+			f.Flood.Stop()
+		}
+	}
+}
+
+// Settle stops the generators and runs the cluster in grace-sized rounds
+// until the fabric is empty and the fault watchdogs have nothing left to
+// rescue — the precondition for strict (zero-leak) invariant checks.
+func (c *Cluster) Settle(grace sim.Time, workers int) error {
+	if grace <= 0 {
+		grace = 50 * sim.Millisecond
+	}
+	c.Stop()
+	end := c.horizon
+	for round := 0; ; round++ {
+		end += grace
+		if err := c.Group.Run(end, workers); err != nil {
+			return err
+		}
+		rescued := 0
+		for _, n := range c.Nodes {
+			if n.Plane != nil {
+				rescued += n.Plane.RescueStuck(n.Host.Eng.Now())
+			}
+		}
+		if rescued == 0 && c.fabricInFlight() == 0 {
+			return nil
+		}
+		if round >= 16 {
+			return fmt.Errorf("cluster: settle did not converge after %d rounds (%d in fabric, %d rescued)",
+				round, c.fabricInFlight(), rescued)
+		}
+	}
+}
+
+// fabricInFlight counts frames inside the fabric: switch queues and
+// in-serialization frames, link window buffers, and shard inboxes holding
+// deliveries beyond the last horizon.
+func (c *Cluster) fabricInFlight() int {
+	n := 0
+	for _, sw := range c.switches() {
+		n += sw.inFlight()
+	}
+	for _, l := range c.links {
+		n += l.Buffered()
+	}
+	for _, s := range c.Group.Shards() {
+		n += s.InboxLen()
+	}
+	return n
+}
+
+// Terms aggregates the cluster-wide conservation terms.
+func (c *Cluster) Terms() testbed.ClusterTerms {
+	var t testbed.ClusterTerms
+	for _, n := range c.Nodes {
+		t.Injected += n.Injected
+		t.ToHosts += n.FromFabric
+		t.ToClients += n.ToClients
+		t.Dropped += n.Misrouted
+	}
+	for _, sw := range c.switches() {
+		t.Dropped += sw.dropped()
+	}
+	t.InFlight = c.fabricInFlight()
+	return t
+}
+
+// CheckInvariants verifies per-host and cluster-wide conservation. strict
+// additionally demands zero in-flight state everywhere — call it only
+// after Settle.
+func (c *Cluster) CheckInvariants(strict bool) error {
+	hosts := make([]*overlay.Host, len(c.Nodes))
+	planes := make([]*fault.Plane, len(c.Nodes))
+	for i, n := range c.Nodes {
+		hosts[i] = n.Host
+		planes[i] = n.Plane
+	}
+	return testbed.CheckCluster(hosts, planes, c.Terms(), strict)
+}
+
+// LatencyHists merges the echo flows' latency histograms by priority
+// class, in flow-index order.
+func (c *Cluster) LatencyHists() (hi, lo *stats.Histogram) {
+	var his, los []*stats.Histogram
+	for _, f := range c.Flows {
+		if f.PP == nil {
+			continue
+		}
+		if f.Spec.Hi {
+			his = append(his, f.PP.Hist)
+		} else {
+			los = append(los, f.PP.Hist)
+		}
+	}
+	return stats.MergeHistograms(his...), stats.MergeHistograms(los...)
+}
+
+// FlowCounts sums sent/received per class across the echo flows, and the
+// floods' sink deliveries.
+func (c *Cluster) FlowCounts() (hiSent, hiRecv, loSent, loRecv, floodSent, floodRecv uint64) {
+	for _, f := range c.Flows {
+		switch {
+		case f.Flood != nil:
+			floodSent += f.Flood.Sent
+			floodRecv += f.Flood.Delivered.Count()
+		case f.Spec.Hi:
+			hiSent += f.PP.Sent
+			hiRecv += f.PP.Received
+		default:
+			loSent += f.PP.Sent
+			loRecv += f.PP.Received
+		}
+	}
+	return
+}
+
+// AdmissionDenied sums the ingress buckets' refusals.
+func (c *Cluster) AdmissionDenied() uint64 {
+	var n uint64
+	for _, node := range c.Nodes {
+		n += node.Bucket.Denied()
+	}
+	return n
+}
+
+// FabricUtilization reports the egress ports' max and mean transmit
+// occupancy at time at (use the measured horizon, before Settle extends
+// the clocks).
+func (c *Cluster) FabricUtilization(at sim.Time) (max, mean float64) {
+	n := 0
+	for _, sw := range c.switches() {
+		for _, p := range sw.Ports {
+			u := p.Utilization(at)
+			if u > max {
+				max = u
+			}
+			mean += u
+			n++
+		}
+	}
+	if n > 0 {
+		mean /= float64(n)
+	}
+	return
+}
+
+// FabricDrops sums the switches' discards; FabricShed the subset of
+// best-effort victims evicted for high-priority frames.
+func (c *Cluster) FabricDrops() (dropped, shed uint64) {
+	for _, sw := range c.switches() {
+		dropped += sw.dropped()
+		for _, p := range sw.Ports {
+			shed += p.ShedLo
+		}
+	}
+	return
+}
+
+// Pipes returns every observability pipeline in shard order (hosts, then
+// ToRs, then the spine) — the deterministic merge order for digests.
+func (c *Cluster) Pipes() []*obs.Pipeline {
+	ps := make([]*obs.Pipeline, 0, len(c.Nodes)+len(c.Tors)+1)
+	for _, n := range c.Nodes {
+		ps = append(ps, n.Pipe)
+	}
+	for _, sw := range c.switches() {
+		ps = append(ps, sw.Pipe)
+	}
+	return ps
+}
+
+// Horizon is the end of the measured interval (warmup + duration).
+func (c *Cluster) Horizon() sim.Time { return c.horizon }

@@ -1,0 +1,454 @@
+package cluster
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"prism/internal/cpu"
+	"prism/internal/fault"
+	"prism/internal/nic"
+	"prism/internal/obs"
+	"prism/internal/prio"
+	"prism/internal/sim"
+	"prism/internal/testbed"
+)
+
+// --- control plane ---
+
+func specsOf(pattern string) []ContainerSpec {
+	specs := make([]ContainerSpec, len(pattern))
+	for i, c := range pattern {
+		specs[i] = ContainerSpec{Name: fmt.Sprintf("c%d", i), Hi: c == 'H'}
+	}
+	return specs
+}
+
+func TestPlaceSpread(t *testing.T) {
+	got, err := Place(PlaceSpread, specsOf("LLLLL"), 3, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Least-loaded with lowest-ID ties: round-robin.
+	want := []int{0, 1, 2, 0, 1}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("spread placement = %v, want %v", got, want)
+	}
+}
+
+func TestPlacePack(t *testing.T) {
+	got, err := Place(PlacePack, specsOf("LLLLL"), 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 0, 1, 1, 2}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("pack placement = %v, want %v", got, want)
+	}
+}
+
+func TestPlacePriority(t *testing.T) {
+	// Best-effort packs hosts 0 and 1; the high-priority containers then
+	// go to the emptiest hosts.
+	got, err := Place(PlacePriority, specsOf("LLHLH"), 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 0, 1, 0, 2}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("priority placement = %v, want %v", got, want)
+	}
+}
+
+func TestPlaceRespectsCapacity(t *testing.T) {
+	for _, pol := range Placements {
+		assign, err := Place(pol, specsOf("HLHLHLHL"), 2, 4)
+		if err != nil {
+			t.Fatalf("%v: %v", pol, err)
+		}
+		count := map[int]int{}
+		for _, h := range assign {
+			count[h]++
+		}
+		for h, n := range count {
+			if n > 4 {
+				t.Fatalf("%v: host %d got %d containers, cap 4", pol, h, n)
+			}
+		}
+	}
+	if _, err := Place(PlaceSpread, specsOf("LLLLL"), 2, 2); err == nil {
+		t.Fatal("placement over capacity must error")
+	}
+}
+
+func TestParsePlacement(t *testing.T) {
+	for _, p := range Placements {
+		got, err := ParsePlacement(p.String())
+		if err != nil || got != p {
+			t.Fatalf("ParsePlacement(%q) = %v, %v", p.String(), got, err)
+		}
+	}
+	if _, err := ParsePlacement("bogus"); err == nil {
+		t.Fatal("unknown placement must error")
+	}
+}
+
+func TestTokenBucket(t *testing.T) {
+	b := NewTokenBucket(Admission{Rate: 1_000_000, Burst: 4, HiReserve: 0.5})
+	// Burst of 4; best-effort stops at the reserve floor of 2.
+	if !b.Admit(0, false) || !b.Admit(0, false) {
+		t.Fatal("best-effort should drain down to the reserve")
+	}
+	if b.Admit(0, false) {
+		t.Fatal("best-effort must stop at the hi reserve")
+	}
+	if !b.Admit(0, true) || !b.Admit(0, true) {
+		t.Fatal("high priority should use the reserve")
+	}
+	if b.Admit(0, true) {
+		t.Fatal("empty bucket must refuse even high priority")
+	}
+	// 1M tokens/s → 1 token per µs of virtual time.
+	if !b.Admit(2*sim.Microsecond, true) {
+		t.Fatal("refill must restore tokens")
+	}
+	if b.DeniedLo != 1 || b.DeniedHi != 1 || b.AdmittedHi != 3 || b.AdmittedLo != 2 {
+		t.Fatalf("counter mismatch: %+v", b)
+	}
+	var nilBucket *TokenBucket
+	if !nilBucket.Admit(0, false) {
+		t.Fatal("nil bucket admits everything")
+	}
+}
+
+func TestSnapshotLookup(t *testing.T) {
+	s := NewSnapshot(7, map[uint16]Route{
+		SvcPort(0): {Host: 3, Hi: true},
+		CliPort(0): {Host: 1, Hi: true, ToClient: true},
+	})
+	if s.Version != 7 || s.Len() != 2 {
+		t.Fatalf("snapshot meta wrong: v%d len %d", s.Version, s.Len())
+	}
+	if r, ok := s.Lookup(SvcPort(0)); !ok || r.Host != 3 || !r.Hi || r.ToClient {
+		t.Fatalf("service route wrong: %+v %v", r, ok)
+	}
+	if _, ok := s.Lookup(9999); ok {
+		t.Fatal("unknown port must miss")
+	}
+}
+
+// --- full cluster ---
+
+func testHostSpec() testbed.Spec {
+	return testbed.Spec{
+		Mode:       prio.ModeSync,
+		CStates:    cpu.C1,
+		AppCStates: cpu.C1,
+		NIC: nic.Config{
+			RxUsecs:      8 * sim.Microsecond,
+			RxFrames:     32,
+			AdaptiveIdle: 100 * sim.Microsecond,
+			GRO:          true,
+		},
+	}
+}
+
+// testSpecs builds a small mixed workload: one flood per two hosts, every
+// fifth remaining container a high-priority echo, the rest best-effort
+// echoes.
+func testSpecs(hosts, n int) []ContainerSpec {
+	specs := make([]ContainerSpec, 0, n)
+	for i := 0; i < n; i++ {
+		switch {
+		case i < hosts/2:
+			specs = append(specs, ContainerSpec{Flood: true, Rate: 20_000, Ingress: i % hosts})
+		case i%5 == 0:
+			specs = append(specs, ContainerSpec{Hi: true, Rate: 2_000, Ingress: -1})
+		default:
+			specs = append(specs, ContainerSpec{Rate: 500, Ingress: -1})
+		}
+	}
+	return specs
+}
+
+func smallConfig(seed uint64) Config {
+	return Config{
+		Hosts:     4,
+		Placement: PlacePriority,
+		Seed:      seed,
+		Host:      testHostSpec(),
+		Specs:     testSpecs(4, 24),
+		Admission: &Admission{Rate: 200_000, Burst: 64, HiReserve: 0.25},
+		Fabric:    FabricConfig{Racks: 2},
+		Warmup:    2 * sim.Millisecond,
+	}
+}
+
+func TestClusterRunsAndConserves(t *testing.T) {
+	c, err := New(smallConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Run(20*sim.Millisecond, 1); err != nil {
+		t.Fatal(err)
+	}
+	hiSent, hiRecv, loSent, loRecv, _, floodRecv := c.FlowCounts()
+	if hiSent == 0 || hiRecv == 0 || loSent == 0 || loRecv == 0 || floodRecv == 0 {
+		t.Fatalf("flows idle: hi %d/%d lo %d/%d flood %d", hiSent, hiRecv, loSent, loRecv, floodRecv)
+	}
+	if err := c.CheckInvariants(false); err != nil {
+		t.Fatalf("mid-run invariants: %v", err)
+	}
+	// The ToRs must have carried traffic, and with two racks the spine
+	// must have seen cross-rack flows.
+	for _, tor := range c.Tors {
+		if tor.RxFrames == 0 {
+			t.Fatalf("%s saw no frames", tor.Name)
+		}
+	}
+	if c.Spine == nil || c.Spine.RxFrames == 0 {
+		t.Fatal("spine saw no cross-rack frames")
+	}
+	if n := c.Terms(); n.Injected == 0 {
+		t.Fatal("no frames entered the fabric")
+	}
+	// Settle and apply the zero-leak assertion.
+	if err := c.Settle(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CheckInvariants(true); err != nil {
+		t.Fatalf("strict invariants after settle: %v", err)
+	}
+	if got := c.fabricInFlight(); got != 0 {
+		t.Fatalf("settled fabric holds %d frames", got)
+	}
+}
+
+// clusterFingerprint captures everything a deterministic run must
+// reproduce: per-flow delivered sample sequences, the conservation terms,
+// flow counts, and the merged metrics exposition.
+type clusterFingerprint struct {
+	samples [][]uint64
+	terms   testbed.ClusterTerms
+	counts  [6]uint64
+	metrics string
+	windows uint64
+}
+
+func runFingerprint(t *testing.T, cfg Config, workers int) clusterFingerprint {
+	t.Helper()
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := make([][]uint64, len(c.Flows))
+	for _, f := range c.Flows {
+		if f.PP == nil {
+			continue
+		}
+		i := f.Index
+		f.PP.OnSample = func(seq uint64, lat sim.Time) {
+			samples[i] = append(samples[i], seq, uint64(lat))
+		}
+	}
+	if err := c.Run(20*sim.Millisecond, workers); err != nil {
+		t.Fatal(err)
+	}
+	var regs []*obs.Registry
+	for _, p := range c.Pipes() {
+		regs = append(regs, p.M)
+	}
+	hiS, hiR, loS, loR, flS, flR := c.FlowCounts()
+	return clusterFingerprint{
+		samples: samples,
+		terms:   c.Terms(),
+		counts:  [6]uint64{hiS, hiR, loS, loR, flS, flR},
+		metrics: obs.PrometheusText(obs.MergeRegistries(regs...)),
+		windows: c.Group.Windows,
+	}
+}
+
+func TestClusterDeterministicAcrossWorkers(t *testing.T) {
+	base := runFingerprint(t, smallConfig(3), 1)
+	if len(base.metrics) == 0 {
+		t.Fatal("no metrics collected")
+	}
+	for _, workers := range []int{2, 4} {
+		got := runFingerprint(t, smallConfig(3), workers)
+		if !reflect.DeepEqual(got.samples, base.samples) {
+			t.Fatalf("workers=%d: delivered sample sequences diverge", workers)
+		}
+		if got.terms != base.terms {
+			t.Fatalf("workers=%d: terms diverge: %+v vs %+v", workers, got.terms, base.terms)
+		}
+		if got.counts != base.counts {
+			t.Fatalf("workers=%d: flow counts diverge: %v vs %v", workers, got.counts, base.counts)
+		}
+		if got.metrics != base.metrics {
+			t.Fatalf("workers=%d: merged metrics diverge", workers)
+		}
+		if got.windows != base.windows {
+			t.Fatalf("workers=%d: window schedule diverges: %d vs %d", workers, got.windows, base.windows)
+		}
+	}
+}
+
+func TestClusterAdmissionShedsLowFirst(t *testing.T) {
+	cfg := smallConfig(5)
+	// Starve the buckets so the floods overrun admission.
+	cfg.Admission = &Admission{Rate: 5_000, Burst: 16, HiReserve: 0.5}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Run(20*sim.Millisecond, 2); err != nil {
+		t.Fatal(err)
+	}
+	var deniedLo, admittedHi uint64
+	for _, n := range c.Nodes {
+		deniedLo += n.Bucket.DeniedLo
+		admittedHi += n.Bucket.AdmittedHi
+	}
+	if deniedLo == 0 {
+		t.Fatal("starved buckets refused no best-effort frames")
+	}
+	if admittedHi == 0 {
+		t.Fatal("the hi reserve admitted no high-priority frames")
+	}
+	if c.AdmissionDenied() == 0 {
+		t.Fatal("AdmissionDenied lost the refusals")
+	}
+	if err := c.CheckInvariants(false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClusterWithFaultsStaysDeterministic(t *testing.T) {
+	cfg := smallConfig(9)
+	cfg.Host.Fault = &fault.Config{Rate: 0.2}
+	base := runFingerprint(t, cfg, 1)
+	got := runFingerprint(t, cfg, 3)
+	if !reflect.DeepEqual(got.samples, base.samples) {
+		t.Fatal("faulted cluster diverges across worker counts")
+	}
+	if got.metrics != base.metrics {
+		t.Fatal("faulted cluster metrics diverge across worker counts")
+	}
+}
+
+func TestClusterFaultPlanesInjectPerHost(t *testing.T) {
+	cfg := smallConfig(11)
+	cfg.Host.Fault = &fault.Config{Rate: 0.3}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Run(30*sim.Millisecond, 2); err != nil {
+		t.Fatal(err)
+	}
+	var injected uint64
+	seen := map[uint64]bool{}
+	for _, n := range c.Nodes {
+		if n.Plane == nil {
+			t.Fatalf("%s built without a plane", n.Name)
+		}
+		st := n.Plane.Stats()
+		sum := st.Corrupted + st.LinkDropped + st.Jittered + st.OverrunDropped +
+			st.IRQsLost + st.IRQsSpurious + st.SoftirqStalls + st.ConsumerStalls
+		injected += sum
+		seen[sum] = true
+	}
+	if injected == 0 {
+		t.Fatal("no faults injected anywhere")
+	}
+	if len(seen) < 2 {
+		t.Fatal("per-host fault streams look identical — seeds not derived per host")
+	}
+	if err := c.Settle(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CheckInvariants(true); err != nil {
+		t.Fatalf("strict invariants after faulted settle: %v", err)
+	}
+}
+
+func TestClusterFabricObservability(t *testing.T) {
+	c, err := New(smallConfig(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Run(10*sim.Millisecond, 1); err != nil {
+		t.Fatal(err)
+	}
+	var regs []*obs.Registry
+	for _, p := range c.Pipes() {
+		regs = append(regs, p.M)
+	}
+	merged := obs.MergeRegistries(regs...)
+	if merged.CounterValue("prism_fabric_frames_total", obs.Labels{}) == 0 {
+		t.Fatal("no fabric spans recorded")
+	}
+	text := obs.PrometheusText(merged)
+	for _, want := range []string{`shard="host00"`, `shard="tor00"`, `shard="spine"`, "prism_fabric_frames_total"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("merged exposition lacks %s", want)
+		}
+	}
+	max, mean := c.FabricUtilization(c.Horizon())
+	if max <= 0 || mean <= 0 || max > 1 || mean > max {
+		t.Fatalf("implausible fabric utilization max=%v mean=%v", max, mean)
+	}
+}
+
+func TestClusterFabricOverflowShedsLow(t *testing.T) {
+	// A slow, shallow egress port: the flood's bursts overflow it, and
+	// high-priority arrivals evict queued best-effort frames.
+	cfg := Config{
+		Hosts:     2,
+		Placement: PlacePack,
+		Seed:      17,
+		Host:      testHostSpec(),
+		Specs: []ContainerSpec{
+			{Name: "bg", Flood: true, Rate: 60_000, Ingress: 1},
+			{Name: "hi", Hi: true, Rate: 20_000, Ingress: 1},
+		},
+		Fabric: FabricConfig{Racks: 1, LinkGbps: 0.5, QueueCap: 2},
+		Warmup: sim.Millisecond,
+	}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Run(20*sim.Millisecond, 1); err != nil {
+		t.Fatal(err)
+	}
+	dropped, shed := c.FabricDrops()
+	if dropped == 0 {
+		t.Fatal("saturated port dropped nothing")
+	}
+	if shed == 0 {
+		t.Fatal("high-priority arrivals shed no best-effort frames")
+	}
+	if err := c.CheckInvariants(false); err != nil {
+		t.Fatalf("invariants with fabric drops: %v", err)
+	}
+	if err := c.Settle(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CheckInvariants(true); err != nil {
+		t.Fatalf("strict invariants after lossy run: %v", err)
+	}
+}
+
+func TestClusterConfigValidation(t *testing.T) {
+	if _, err := New(Config{Hosts: 2}); err == nil {
+		t.Fatal("empty spec list must error")
+	}
+	cfg := smallConfig(1)
+	cfg.Hosts = 1
+	cfg.HostCap = 4
+	if _, err := New(cfg); err == nil {
+		t.Fatal("over-capacity placement must error")
+	}
+}

@@ -1,0 +1,264 @@
+package cluster
+
+import (
+	"fmt"
+
+	"prism/internal/sim"
+)
+
+// The control plane is deliberately simple and wholly deterministic: a
+// placement decision made once at build time, an immutable routing
+// snapshot distributed to every switch, and a per-host token bucket at
+// fabric ingress. Real cluster managers converge to the same shape — a
+// scheduler output plus a versioned route table pushed to the dataplane —
+// and making the snapshot immutable is what keeps the parallel simulation
+// bit-identical: switches on different shards read it concurrently but
+// nothing ever writes it after New returns.
+
+// Placement selects the container scheduling policy.
+type Placement int
+
+const (
+	// PlaceSpread balances container count across hosts (the default
+	// Kubernetes-like least-loaded choice).
+	PlaceSpread Placement = iota
+	// PlacePack fills hosts in order, moving on only when one is full —
+	// the bin-packing / consolidation policy.
+	PlacePack
+	// PlacePriority packs best-effort containers first, then spreads the
+	// high-priority ones across the least-loaded hosts, so prioritized
+	// flows land where per-host contention is lowest.
+	PlacePriority
+)
+
+// Placements lists the compared policies in presentation order.
+var Placements = []Placement{PlaceSpread, PlacePack, PlacePriority}
+
+// String names the policy as experiments report it.
+func (p Placement) String() string {
+	switch p {
+	case PlaceSpread:
+		return "spread"
+	case PlacePack:
+		return "pack"
+	case PlacePriority:
+		return "priority"
+	}
+	return fmt.Sprintf("placement(%d)", int(p))
+}
+
+// ParsePlacement resolves a policy by its String name.
+func ParsePlacement(name string) (Placement, error) {
+	for _, p := range Placements {
+		if p.String() == name {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("cluster: unknown placement policy %q (valid: spread, pack, priority)", name)
+}
+
+// ContainerSpec declares one container workload for the placer: its
+// priority class, offered rate, shape (echo server or flood sink), and
+// the host whose client machine originates its flow.
+type ContainerSpec struct {
+	Name string
+	// Hi marks the container's flow as high priority: the control plane
+	// installs a rule in the destination host's priority database and
+	// the fabric serves its frames from the strict-priority queue.
+	Hi bool
+	// Rate is the flow's offered packets per second.
+	Rate float64
+	// Flood selects an open-loop UDP flood into a counting sink instead
+	// of a latency-measured echo flow.
+	Flood bool
+	// Ingress is the host whose client machine sends this flow (< 0
+	// derives a deterministic spread from the container index).
+	Ingress int
+}
+
+// Place assigns each container to a host, deterministically: ties break
+// toward the lowest host ID, and the input order is part of the contract
+// (the same specs always yield the same assignment). hostCap bounds
+// containers per host; it errors when the policy cannot respect it.
+func Place(policy Placement, specs []ContainerSpec, hosts, hostCap int) ([]int, error) {
+	if hosts < 1 {
+		return nil, fmt.Errorf("cluster: placement needs at least one host")
+	}
+	if hostCap < 1 {
+		return nil, fmt.Errorf("cluster: host capacity must be positive")
+	}
+	if len(specs) > hosts*hostCap {
+		return nil, fmt.Errorf("cluster: %d containers exceed cluster capacity %d (%d hosts × %d)",
+			len(specs), hosts*hostCap, hosts, hostCap)
+	}
+	count := make([]int, hosts)
+	assign := make([]int, len(specs))
+	leastLoaded := func() int {
+		best := -1
+		for h := 0; h < hosts; h++ {
+			if count[h] >= hostCap {
+				continue
+			}
+			if best < 0 || count[h] < count[best] {
+				best = h
+			}
+		}
+		return best
+	}
+	firstFit := func() int {
+		for h := 0; h < hosts; h++ {
+			if count[h] < hostCap {
+				return h
+			}
+		}
+		return -1
+	}
+	place := func(i, h int) {
+		assign[i] = h
+		count[h]++
+	}
+	switch policy {
+	case PlaceSpread:
+		for i := range specs {
+			place(i, leastLoaded())
+		}
+	case PlacePack:
+		for i := range specs {
+			place(i, firstFit())
+		}
+	case PlacePriority:
+		// Best-effort first, packed; then high priority onto the hosts
+		// the packing left emptiest.
+		for i, s := range specs {
+			if !s.Hi {
+				place(i, firstFit())
+			}
+		}
+		for i, s := range specs {
+			if s.Hi {
+				place(i, leastLoaded())
+			}
+		}
+	default:
+		return nil, fmt.Errorf("cluster: unknown placement policy %d", int(policy))
+	}
+	return assign, nil
+}
+
+// Route is one snapshot entry: where frames for a destination port go.
+type Route struct {
+	// Host is the destination host ID — the container's host for service
+	// ports, the flow's ingress host for client (reply) ports.
+	Host int
+	// Hi selects the fabric's strict-priority queue.
+	Hi bool
+	// ToClient marks a reply route: the destination host delivers the
+	// frame to its client demux instead of its NIC.
+	ToClient bool
+}
+
+// Snapshot is an immutable port→route table, versioned like a real
+// control plane's pushed state. Every switch and host holds the same
+// pointer; nothing mutates it after construction, so concurrent reads
+// from parallel shards are safe and deterministic.
+type Snapshot struct {
+	Version int
+	routes  map[uint16]Route
+}
+
+// NewSnapshot builds a snapshot from a route table (the map is not
+// copied; callers must not retain it).
+func NewSnapshot(version int, routes map[uint16]Route) *Snapshot {
+	return &Snapshot{Version: version, routes: routes}
+}
+
+// Lookup resolves a destination port.
+func (s *Snapshot) Lookup(port uint16) (Route, bool) {
+	r, ok := s.routes[port]
+	return r, ok
+}
+
+// Len reports the number of installed routes.
+func (s *Snapshot) Len() int { return len(s.routes) }
+
+// Admission configures the per-host ingress token bucket.
+type Admission struct {
+	// Rate is tokens (frames) per second; Burst the bucket depth.
+	Rate  float64
+	Burst float64
+	// HiReserve is the fraction of Burst only high-priority frames may
+	// consume: best-effort admission stops once the bucket drains to
+	// HiReserve×Burst, keeping headroom for prioritized flows — the
+	// admission-control analogue of the paper's shed policy.
+	HiReserve float64
+}
+
+// TokenBucket is a deterministic virtual-time token bucket: refill is a
+// pure function of the event clock, so admission decisions are identical
+// for any worker count.
+type TokenBucket struct {
+	rate   float64
+	burst  float64
+	floor  float64
+	tokens float64
+	last   sim.Time
+
+	AdmittedHi, AdmittedLo uint64
+	DeniedHi, DeniedLo     uint64
+}
+
+// NewTokenBucket builds a bucket that starts full.
+func NewTokenBucket(a Admission) *TokenBucket {
+	if a.Rate <= 0 || a.Burst <= 0 {
+		return nil
+	}
+	return &TokenBucket{
+		rate:   a.Rate,
+		burst:  a.Burst,
+		floor:  a.HiReserve * a.Burst,
+		tokens: a.Burst,
+	}
+}
+
+// Admit charges one token for a frame at virtual time now. A nil bucket
+// admits everything (admission disabled). Best-effort frames are refused
+// once the level falls to the high-priority reserve.
+func (b *TokenBucket) Admit(now sim.Time, hi bool) bool {
+	if b == nil {
+		return true
+	}
+	if now > b.last {
+		b.tokens += float64(now-b.last) * b.rate / float64(sim.Second)
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+		b.last = now
+	}
+	avail := b.tokens
+	if !hi {
+		avail -= b.floor
+	}
+	if avail < 1 {
+		if hi {
+			b.DeniedHi++
+		} else {
+			b.DeniedLo++
+		}
+		return false
+	}
+	b.tokens--
+	if hi {
+		b.AdmittedHi++
+	} else {
+		b.AdmittedLo++
+	}
+	return true
+}
+
+// Denied returns the bucket's total refusals (zero for nil).
+func (b *TokenBucket) Denied() uint64 {
+	if b == nil {
+		return 0
+	}
+	return b.DeniedHi + b.DeniedLo
+}

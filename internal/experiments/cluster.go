@@ -1,0 +1,197 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"prism/internal/cluster"
+	"prism/internal/obs"
+	"prism/internal/prio"
+	"prism/internal/stats"
+)
+
+// ClusterConfig sizes the datacenter experiment.
+type ClusterConfig struct {
+	// Hosts / Containers set the cluster scale.
+	Hosts      int
+	Containers int
+	// Placements lists the compared policies (empty = all three).
+	Placements []cluster.Placement
+}
+
+// DefaultClusterConfig is the paper-scale point the golden fixtures pin:
+// 16 hosts in 2 racks, 1000 containers.
+func DefaultClusterConfig() ClusterConfig {
+	return ClusterConfig{Hosts: 16, Containers: 1000, Placements: cluster.Placements}
+}
+
+func (cc ClusterConfig) withDefaults() ClusterConfig {
+	def := DefaultClusterConfig()
+	if cc.Hosts <= 0 {
+		cc.Hosts = def.Hosts
+	}
+	if cc.Containers <= 0 {
+		cc.Containers = def.Containers
+	}
+	if len(cc.Placements) == 0 {
+		cc.Placements = def.Placements
+	}
+	return cc
+}
+
+// clusterSpecs builds the experiment workload: one flood sink per host
+// (the cross-host background load), every ninth remaining container a
+// high-priority echo at p.HighRate, the rest best-effort echoes at a
+// fifth of that. Ingress hosts are a deterministic spread, so most flows
+// cross the fabric and many cross racks.
+func clusterSpecs(p Params, hosts, containers int) []cluster.ContainerSpec {
+	specs := make([]cluster.ContainerSpec, 0, containers)
+	for i := 0; i < containers; i++ {
+		ingress := (i*7 + 3) % hosts
+		switch {
+		case i < hosts:
+			specs = append(specs, cluster.ContainerSpec{
+				Name: fmt.Sprintf("bg%04d", i), Flood: true,
+				Rate: p.BGRate / 8, Ingress: ingress,
+			})
+		case (i-hosts)%9 == 0:
+			specs = append(specs, cluster.ContainerSpec{
+				Name: fmt.Sprintf("hi%04d", i), Hi: true,
+				Rate: p.HighRate, Ingress: ingress,
+			})
+		default:
+			specs = append(specs, cluster.ContainerSpec{
+				Name: fmt.Sprintf("lo%04d", i),
+				Rate: p.HighRate / 5, Ingress: ingress,
+			})
+		}
+	}
+	return specs
+}
+
+// ClusterRow is one placement policy's measurement.
+type ClusterRow struct {
+	Placement string
+
+	// Hi / Lo summarize the prioritized and best-effort echo latencies
+	// (merged across all flows of the class).
+	Hi stats.Summary
+	Lo stats.Summary
+
+	HiSent, HiRecv uint64
+	LoSent, LoRecv uint64
+	FloodRecv      uint64
+
+	// AdmitDenied counts ingress token-bucket refusals; FabricDrops the
+	// switches' discards, FabricShed the best-effort victims evicted for
+	// high-priority frames.
+	AdmitDenied uint64
+	FabricDrops uint64
+	FabricShed  uint64
+
+	FabricUtilMax  float64
+	FabricUtilMean float64
+
+	// Windows is the par scheduler's barrier count — identical for every
+	// worker count by construction.
+	Windows uint64
+
+	// MetricsSHA / SpansSHA digest the merged observability streams of
+	// every host and switch pipeline; the determinism gates compare them
+	// across worker counts.
+	MetricsSHA string
+	SpansSHA   string
+}
+
+// ClusterResult is the datacenter experiment: hi/lo tail latency and
+// fabric load per placement policy.
+type ClusterResult struct {
+	Seed       uint64
+	Hosts      int
+	Containers int
+	Racks      int
+	Rows       []ClusterRow
+}
+
+// Cluster runs the multi-host datacenter experiment: the same workload
+// placed by each policy in turn, each run a full cluster simulation over
+// p.Workers shard workers (bit-identical for any worker count).
+func Cluster(p Params, cc ClusterConfig) ClusterResult {
+	cc = cc.withDefaults()
+	res := ClusterResult{Seed: p.Seed, Hosts: cc.Hosts, Containers: cc.Containers}
+	for _, pol := range cc.Placements {
+		row, racks := clusterPoint(p, cc, pol)
+		res.Racks = racks
+		res.Rows = append(res.Rows, row)
+	}
+	return res
+}
+
+func clusterPoint(p Params, cc ClusterConfig, pol cluster.Placement) (ClusterRow, int) {
+	cfg := cluster.Config{
+		Hosts:     cc.Hosts,
+		Placement: pol,
+		Seed:      p.Seed,
+		Host:      baseSpec(p, prio.ModeSync),
+		Specs:     clusterSpecs(p, cc.Hosts, cc.Containers),
+		// Slightly below the busiest hosts' offered ingress, so the
+		// bucket visibly shaves best-effort bursts while the reserve
+		// keeps prioritized flows untouched.
+		Admission: &cluster.Admission{Rate: 55_000, Burst: 96, HiReserve: 0.25},
+		Warmup:    p.Warmup,
+		EchoCost:  p.EchoCost,
+		SinkCost:  p.SinkCost,
+	}
+	c, err := cluster.New(cfg)
+	mustNoErr(err)
+	mustNoErr(c.Run(p.Duration, p.Workers))
+
+	row := ClusterRow{Placement: pol.String(), Windows: c.Group.Windows}
+	hiH, loH := c.LatencyHists()
+	row.Hi, row.Lo = hiH.Summarize(), loH.Summarize()
+	row.HiSent, row.HiRecv, row.LoSent, row.LoRecv, _, row.FloodRecv = c.FlowCounts()
+	row.AdmitDenied = c.AdmissionDenied()
+	row.FabricDrops, row.FabricShed = c.FabricDrops()
+	row.FabricUtilMax, row.FabricUtilMean = c.FabricUtilization(c.Horizon())
+
+	// Digest the full observability surface at the measured horizon, in
+	// shard order: the determinism gates compare these across worker
+	// counts.
+	pipes := c.Pipes()
+	regs := make([]*obs.Registry, len(pipes))
+	streams := make([][]obs.Event, len(pipes))
+	for i, pipe := range pipes {
+		regs[i] = pipe.M
+		streams[i] = pipe.T.Events()
+	}
+	row.MetricsSHA = digest([]byte(obs.PrometheusText(obs.MergeRegistries(regs...))))
+	spans, err := json.Marshal(obs.MergeEvents(streams...))
+	mustNoErr(err)
+	row.SpansSHA = digest(spans)
+
+	// Tear down cleanly and enforce the zero-leak invariants cluster-wide.
+	mustNoErr(c.Settle(0, p.Workers))
+	mustNoErr(c.CheckInvariants(true))
+	return row, c.Cfg.Fabric.Racks
+}
+
+// String renders the per-policy table.
+func (r ClusterResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Cluster — %d hosts / %d racks / %d containers, PRISM-sync hosts (seed %d)\n",
+		r.Hosts, r.Racks, r.Containers, r.Seed)
+	fmt.Fprintf(&b, "%-9s %10s %10s %10s %10s %8s %8s %9s %8s %7s %13s %13s\n",
+		"placement", "hi p50(µs)", "hi p99(µs)", "lo p50(µs)", "lo p99(µs)",
+		"hi recv", "lo recv", "admit-rej", "fab-drop", "util", "metrics", "spans")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-9s %10.1f %10.1f %10.1f %10.1f %8d %8d %9d %8d %3.0f%%/%2.0f%% %13s %13s\n",
+			row.Placement,
+			row.Hi.P50.Micros(), row.Hi.P99.Micros(),
+			row.Lo.P50.Micros(), row.Lo.P99.Micros(),
+			row.HiRecv, row.LoRecv, row.AdmitDenied, row.FabricDrops,
+			100*row.FabricUtilMax, 100*row.FabricUtilMean,
+			row.MetricsSHA[:12], row.SpansSHA[:12])
+	}
+	return b.String()
+}

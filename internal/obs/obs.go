@@ -182,6 +182,32 @@ func (p *Pipeline) Absorbed(now sim.Time, dev string, pkt uint64, prio int) {
 // InFlight reports how many packets have an open lifecycle (diagnostic).
 func (p *Pipeline) InFlight() int { return len(p.lastAt) }
 
+// StageFabric is the datacenter fabric forwarding stage: a ToR or spine
+// switch carrying a frame between hosts (internal/cluster).
+const StageFabric = "fabric"
+
+// Fabric records one switch forwarding a frame over [start, end] — egress
+// queue wait plus serialization onto the output link. Unlike Span it does
+// not touch the per-packet wait cursor: fabric packet IDs are switch-local
+// sequence numbers, not host SKB identities, and a fabric frame never
+// reaches Deliver on this pipeline, so threading it through lastAt would
+// leak an entry per frame.
+func (p *Pipeline) Fabric(dev string, pkt uint64, prio int, start, end sim.Time) {
+	p.T.add(Event{Kind: KindSpan, Stage: StageFabric, Device: dev, Pkt: pkt, Priority: prio, Start: start, End: end})
+	l := Labels{Device: dev, Stage: StageFabric, Priority: prio, Shard: p.Shard}
+	p.M.Counter("prism_fabric_frames_total", l).Add(1)
+	p.M.Histogram("prism_fabric_residency_ns", l).Observe(end - start)
+}
+
+// FabricDrop records a frame the fabric discarded — egress queue overflow,
+// a low-priority victim evicted for a high-priority frame, or no route in
+// the control-plane snapshot. reason becomes the stage label so drop
+// causes stay separable in merged exports.
+func (p *Pipeline) FabricDrop(now sim.Time, dev, reason string, prio int) {
+	p.T.add(Event{Kind: KindInstant, Stage: StageDrop, Device: dev, Pkt: NoPacket, Priority: prio, Start: now, End: now})
+	p.M.Counter("prism_fabric_dropped_total", Labels{Device: dev, Stage: reason, Priority: prio, Shard: p.Shard}).Add(1)
+}
+
 // DefaultTracerCap bounds the span ring buffer: 64 Ki events is a few MB
 // and several full softirq bursts of context.
 const DefaultTracerCap = 1 << 16

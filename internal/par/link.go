@@ -52,3 +52,9 @@ func (l *Link) Send(now, delay sim.Time, payload any) {
 	})
 	l.Src.outSeq++
 }
+
+// Buffered reports how many sends are sitting in the link's window buffer
+// awaiting the next barrier. Nonzero after a Group.Run only for messages
+// emitted by the post-window tail run (delivery beyond the horizon);
+// conservation checkers count these as in-flight on the medium.
+func (l *Link) Buffered() int { return len(l.buf) }

@@ -66,3 +66,9 @@ type Shard struct {
 func (s *Shard) String() string {
 	return fmt.Sprintf("shard %d (%s)", s.ID, s.Name)
 }
+
+// InboxLen reports how many cross-shard messages are waiting to be
+// injected into this shard — sends collected at a barrier whose delivery
+// time falls beyond the horizon the group last ran to. Conservation
+// checkers count these as in-flight on the medium.
+func (s *Shard) InboxLen() int { return len(s.inbox) }

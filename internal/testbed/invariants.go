@@ -163,3 +163,57 @@ func (t *Testbed) CheckInvariants() error {
 	strict := t.Eng != nil && t.Eng.Pending() == 0
 	return CheckHosts(t.Hosts, t.Planes, strict)
 }
+
+// ClusterTerms aggregates the fabric-level conservation terms of a
+// multi-host topology: what entered the fabric, where it left, and what
+// is still riding it. The per-host ledgers account for everything after
+// InjectFromWire; these terms close the loop across hosts.
+type ClusterTerms struct {
+	// Injected counts frames handed to the fabric: generator sends
+	// admitted at an ingress host plus server replies leaving over
+	// WireTx.
+	Injected uint64
+	// ToHosts counts fabric frames delivered into a host's wire-RX path;
+	// ToClients counts reply frames delivered to an ingress host's
+	// client demux.
+	ToHosts   uint64
+	ToClients uint64
+	// Dropped counts frames the fabric discarded: egress-queue tail
+	// drops, low-priority shed victims, unroutable frames, and
+	// misdeliveries.
+	Dropped uint64
+	// InFlight counts frames still inside the fabric: queued at or being
+	// serialized by a switch egress port, buffered on a cross-shard
+	// link, or waiting in a shard inbox past the horizon.
+	InFlight int
+}
+
+// CheckCluster verifies a multi-host topology: each host's own ledger
+// must balance, the per-host wire counts must sum to the fabric's
+// delivered total, and every frame that entered the fabric must be
+// delivered, dropped, or visibly in flight. strict additionally demands
+// an empty fabric — use it after the cluster has settled.
+func CheckCluster(hosts []*overlay.Host, planes []*fault.Plane, terms ClusterTerms, strict bool) error {
+	if err := CheckHosts(hosts, planes, strict); err != nil {
+		return err
+	}
+	var wire uint64
+	for _, h := range hosts {
+		wire += h.RxWire
+	}
+	if wire != terms.ToHosts {
+		return fmt.Errorf("cluster: fabric handoff broken: hosts saw %d wire frames but the fabric delivered %d",
+			wire, terms.ToHosts)
+	}
+	if terms.InFlight < 0 {
+		return fmt.Errorf("cluster: negative in-flight count %d", terms.InFlight)
+	}
+	if terms.Injected != terms.ToHosts+terms.ToClients+terms.Dropped+uint64(terms.InFlight) {
+		return fmt.Errorf("cluster: fabric conservation broken: %d injected != %d to-hosts + %d to-clients + %d dropped + %d in-flight",
+			terms.Injected, terms.ToHosts, terms.ToClients, terms.Dropped, terms.InFlight)
+	}
+	if strict && terms.InFlight != 0 {
+		return fmt.Errorf("cluster: settled fabric still holds %d frames", terms.InFlight)
+	}
+	return nil
+}

@@ -1,0 +1,181 @@
+package testbed
+
+import (
+	"strings"
+	"testing"
+
+	"prism/internal/fault"
+	"prism/internal/overlay"
+	"prism/internal/prio"
+	"prism/internal/sim"
+)
+
+// buildClusterRig assembles n independent hosts via BuildHost — the same
+// entry point the cluster topology uses — each on its own engine, drives a
+// distinct number of frames through each, and drains them. The returned
+// wire count is the fabric's would-be delivery total.
+func buildClusterRig(t *testing.T, n int, withFault bool) ([]*overlay.Host, []*fault.Plane, uint64) {
+	t.Helper()
+	spec := Spec{Mode: prio.ModeVanilla}
+	hosts := make([]*overlay.Host, n)
+	planes := make([]*fault.Plane, n)
+	var wire uint64
+	for i := 0; i < n; i++ {
+		eng := sim.NewEngine(uint64(100 + i))
+		hspec := spec
+		hspec.Seed = uint64(100 + i)
+		if withFault && i%2 == 1 {
+			// Corruption only: corrupted frames still traverse the full
+			// pipeline (dropped with an attributed verdict), so the drained
+			// ledgers stay strict without a rescue pass.
+			hspec.Fault = &fault.Config{Seed: uint64(7 + i), Rate: 0.5, Classes: fault.ClassCorrupt}
+		}
+		h, _, plane := hspec.BuildHost(eng, "h")
+		if withFault && i%2 == 1 {
+			plane.Start(0)
+		}
+		frames := 3 + 2*i // distinct per host, so aggregation bugs can't cancel
+		for f := 0; f < frames; f++ {
+			frame := overlay.HostUDPToServer(4000, 5000, []byte{byte(f)})
+			at := sim.Time(1000 * (f + 1))
+			eng.At(at, func() { h.InjectFromWire(at, frame) })
+		}
+		if err := eng.Run(10_000_000); err != nil {
+			t.Fatal(err)
+		}
+		if eng.Pending() != 0 {
+			t.Fatalf("host %d did not drain: %d pending events", i, eng.Pending())
+		}
+		hosts[i], planes[i] = h, plane
+		wire += h.RxWire
+	}
+	return hosts, planes, wire
+}
+
+// TestCheckClusterAggregatesHosts runs the aggregated checker over several
+// independently-built rigs: per-host conservation must hold host by host,
+// the wire sum must meet the fabric's delivery count, and the fabric
+// equation must close — including a non-strict snapshot with frames still
+// riding the fabric.
+func TestCheckClusterAggregatesHosts(t *testing.T) {
+	hosts, planes, wire := buildClusterRig(t, 3, false)
+
+	// Settled: everything that entered the fabric reached a host, a
+	// client, or an attributed drop.
+	settled := ClusterTerms{Injected: wire + 9 + 4, ToHosts: wire, ToClients: 9, Dropped: 4}
+	if err := CheckCluster(hosts, planes, settled, true); err != nil {
+		t.Fatalf("settled cluster flagged: %v", err)
+	}
+
+	// Mid-run: two frames still on the fabric balance only through the
+	// in-flight term, and only non-strictly.
+	midRun := settled
+	midRun.Injected += 2
+	midRun.InFlight = 2
+	if err := CheckCluster(hosts, planes, midRun, false); err != nil {
+		t.Fatalf("mid-run snapshot flagged: %v", err)
+	}
+	if err := CheckCluster(hosts, planes, midRun, true); err == nil {
+		t.Error("strict check accepted a fabric still holding frames")
+	} else if !strings.Contains(err.Error(), "still holds") {
+		t.Errorf("strict in-flight error unclear: %v", err)
+	}
+}
+
+// TestCheckClusterDetectsBrokenTerms fabricates each way the fabric
+// equation can break and demands a distinct, attributable error.
+func TestCheckClusterDetectsBrokenTerms(t *testing.T) {
+	hosts, planes, wire := buildClusterRig(t, 2, false)
+	good := ClusterTerms{Injected: wire + 5, ToHosts: wire, ToClients: 5}
+	if err := CheckCluster(hosts, planes, good, true); err != nil {
+		t.Fatalf("baseline flagged: %v", err)
+	}
+
+	handoff := good
+	handoff.ToHosts--
+	handoff.Injected--
+	if err := CheckCluster(hosts, planes, handoff, true); err == nil {
+		t.Error("fabric/host handoff mismatch not detected")
+	} else if !strings.Contains(err.Error(), "handoff") {
+		t.Errorf("handoff error unclear: %v", err)
+	}
+
+	leak := good
+	leak.Injected += 3 // three frames entered and vanished
+	if err := CheckCluster(hosts, planes, leak, true); err == nil {
+		t.Error("fabric conservation leak not detected")
+	} else if !strings.Contains(err.Error(), "conservation") {
+		t.Errorf("conservation error unclear: %v", err)
+	}
+
+	negative := good
+	negative.InFlight = -1
+	negative.Injected-- // keep the sum consistent so only the sign trips
+	if err := CheckCluster(hosts, planes, negative, false); err == nil {
+		t.Error("negative in-flight count not detected")
+	}
+}
+
+// TestCheckClusterSurfacesHostIdentity breaks one host's own ledger and
+// requires the aggregated checker to name it — cluster-wide totals must
+// not wash out a single bad rig.
+func TestCheckClusterSurfacesHostIdentity(t *testing.T) {
+	hosts, planes, wire := buildClusterRig(t, 3, false)
+	hosts[1].RxWire++ // phantom arrival on the middle host
+	terms := ClusterTerms{Injected: wire + 1, ToHosts: wire + 1}
+	err := CheckCluster(hosts, planes, terms, true)
+	if err == nil {
+		t.Fatal("broken host ledger not detected")
+	}
+	if !strings.Contains(err.Error(), "host1") {
+		t.Errorf("error does not name the offending host: %v", err)
+	}
+	hosts[1].RxWire--
+	terms.Injected--
+	terms.ToHosts--
+	if err := CheckCluster(hosts, planes, terms, true); err != nil {
+		t.Errorf("balance not restored: %v", err)
+	}
+}
+
+// TestCheckClusterWithFaultPlanes pairs fault planes with only some hosts
+// (index-aligned, nil for the rest) and checks the aggregate still
+// balances: injected corruption shows up as attributed drops inside the
+// per-host ledgers, never as a fabric-level discrepancy.
+func TestCheckClusterWithFaultPlanes(t *testing.T) {
+	hosts, planes, wire := buildClusterRig(t, 4, true)
+	injected := false
+	for _, p := range planes {
+		if p != nil && p.Stats().Corrupted > 0 {
+			injected = true
+		}
+	}
+	if !injected {
+		t.Fatal("fault planes injected nothing; raise the rate or frame count")
+	}
+	terms := ClusterTerms{Injected: wire, ToHosts: wire}
+	if err := CheckCluster(hosts, planes, terms, true); err != nil {
+		t.Fatalf("faulted cluster flagged: %v", err)
+	}
+}
+
+// TestBuildHostWiring covers the BuildHost entry point itself: the caller's
+// pipeline must be honored, a default one built when absent, and a Fault
+// spec must come back as a live plane threaded into the host.
+func TestBuildHostWiring(t *testing.T) {
+	eng := sim.NewEngine(1)
+	spec := Spec{Seed: 1, Mode: prio.ModeVanilla}
+	_, pipe, plane := spec.BuildHost(eng, "solo")
+	if pipe == nil {
+		t.Error("BuildHost without a Spec.Pipe must build its own pipeline")
+	}
+	if plane != nil {
+		t.Error("BuildHost grew a fault plane without a Fault spec")
+	}
+
+	spec.Fault = &fault.Config{Seed: 2, Rate: 0.1}
+	_, _, plane = spec.BuildHost(sim.NewEngine(2), "faulted")
+	if plane == nil {
+		t.Error("BuildHost ignored the Fault spec")
+	}
+}

@@ -169,6 +169,32 @@ func (spec Spec) hostConfig(rxQueues int, pipe *obs.Pipeline) overlay.Config {
 	}
 }
 
+// BuildHost wires one server host from the Spec onto the given engine —
+// the per-host building block of multi-host topologies (internal/cluster),
+// which derive one Spec per host (distinct seed and fault stream) and
+// connect the resulting hosts over fabric links instead of a single
+// client wire. The host is always instrumented: the returned pipeline is
+// spec.Pipe when set, otherwise a fresh one labeled name, so per-host
+// collection stays shard-local and deterministic at any worker count. The
+// fault plane is non-nil only when spec.Fault is set; its timeline is NOT
+// started — the caller arms it with Plane.Start once the run's horizon is
+// known.
+func (spec Spec) BuildHost(eng *sim.Engine, name string) (*overlay.Host, *obs.Pipeline, *fault.Plane) {
+	pipe := spec.Pipe
+	if pipe == nil {
+		pipe = obs.NewPipeline(name)
+	}
+	cfg := spec.hostConfig(spec.RxQueues, pipe)
+	cfg.Shed = spec.Shed
+	var plane *fault.Plane
+	if spec.Fault != nil {
+		plane = fault.NewPlane(eng, *spec.Fault)
+		plane.SetObs(pipe)
+		cfg.Fault = plane
+	}
+	return overlay.NewHost(eng, cfg), pipe, plane
+}
+
 func (t *Testbed) buildMonolithic(spec Spec) {
 	eng := sim.NewEngine(spec.Seed)
 	cfg := spec.hostConfig(spec.RxQueues, spec.Pipe)
