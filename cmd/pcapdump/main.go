@@ -1,0 +1,61 @@
+// Command pcapdump validates and summarizes a pcap capture — the CI
+// smoke check for /capture streams and the quick look when Wireshark is
+// overkill. It reads a classic pcap (either timestamp magic) from a file
+// or stdin, exits nonzero if the capture does not parse, and prints one
+// summary line; -v adds a per-record listing with nanosecond virtual
+// timestamps.
+//
+// Usage:
+//
+//	pcapdump capture.pcap
+//	curl -s "localhost:8080/capture?prio=hi&max=50" | pcapdump -v -
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"prism/internal/pcap"
+	"prism/internal/sim"
+)
+
+func main() {
+	verbose := flag.Bool("v", false, "list every record")
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	name := "stdin"
+	if flag.NArg() > 0 && flag.Arg(0) != "-" {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in, name = f, flag.Arg(0)
+	}
+
+	recs, err := pcap.Parse(in)
+	if err != nil {
+		fatal(fmt.Errorf("%s: %w", name, err))
+	}
+
+	var bytes int
+	for i, rec := range recs {
+		bytes += len(rec.Frame)
+		if *verbose {
+			fmt.Printf("%6d  %15d ns  %5d bytes\n", i, int64(rec.At), len(rec.Frame))
+		}
+	}
+	span := ""
+	if n := len(recs); n > 0 {
+		span = fmt.Sprintf(", %v .. %v", sim.Time(recs[0].At), sim.Time(recs[n-1].At))
+	}
+	fmt.Printf("%s: valid pcap, %d packets, %d bytes%s\n", name, len(recs), bytes, span)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

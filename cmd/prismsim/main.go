@@ -12,6 +12,7 @@
 //	prismsim -exp policies            # softirq poll-policy ablation ladder
 //	prismsim -exp policies -policy headonly   # one policy variant only
 //	prismsim -exp cluster -hosts 16 -containers 1000   # datacenter run
+//	prismsim -exp cluster -listen :8080    # + live operator surface
 //
 // -parallel N runs multi-point experiments (fig9, fig10, fig11, scaling,
 // and the sweeps) with up to N parameter points in flight, each on its own
@@ -23,17 +24,29 @@
 // JSON snapshot (path ending in .json) or Prometheus text exposition
 // (any other extension), and the span streams as Chrome trace-event JSON
 // loadable in Perfetto / chrome://tracing.
+//
+// -listen addr serves the live operator surface while experiments run:
+// /metrics (Prometheus exposition of the latest virtual-time checkpoint),
+// /capture (streaming pcap with container/priority selectors — pipe it
+// into Wireshark), /trace (Chrome trace events as NDJSON), and /status
+// (SSE run progress). The cluster and chaos experiments publish into it;
+// attaching the surface never changes results — the determinism gates
+// re-derive the golden digests with it enabled. -checkpoint sets the
+// snapshot cadence in virtual time; -linger keeps the server answering
+// for a real-time grace period after the runs finish.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net"
 	"os"
 	"strings"
 	"time"
 
 	"prism/internal/cluster"
 	"prism/internal/experiments"
+	"prism/internal/live"
 	"prism/internal/obs"
 	"prism/internal/sim"
 	"prism/internal/stats"
@@ -187,6 +200,10 @@ func main() {
 
 		metricsOut = flag.String("metrics-out", "", "write the stages experiment's metrics here (.json = JSON snapshot, otherwise Prometheus text)")
 		traceOut   = flag.String("trace-out", "", "write the stages experiment's span streams here as Chrome trace-event JSON")
+
+		listen     = flag.String("listen", "", "serve the live operator surface (/metrics, /capture, /trace, /status) on this address while experiments run, e.g. :8080")
+		checkpoint = flag.Duration("checkpoint", time.Duration(live.DefaultInterval), "live surface snapshot cadence (virtual time)")
+		linger     = flag.Duration("linger", 0, "keep the live surface serving snapshots this long (real time) after the runs complete")
 	)
 	flag.Parse()
 
@@ -212,6 +229,26 @@ func main() {
 	p.BGBurst = *burst
 	p.Workers = *parallel
 
+	if *listen != "" {
+		lv := live.NewServer()
+		if iv := sim.Duration(*checkpoint); iv > 0 {
+			lv.Interval = iv
+		}
+		ln, err := net.Listen("tcp", *listen)
+		if err != nil {
+			fatal(err)
+		}
+		// The determinism gates diff stdout across runs; the bound address
+		// (often an ephemeral port) goes to stderr.
+		fmt.Fprintf(os.Stderr, "live: listening on http://%s\n", ln.Addr())
+		go func() {
+			if err := lv.Serve(ln); err != nil {
+				fmt.Fprintln(os.Stderr, "live:", err)
+			}
+		}()
+		p.Live = lv
+	}
+
 	a := &appCtx{
 		p:          p,
 		cdf:        *cdf,
@@ -225,6 +262,15 @@ func main() {
 	}
 	for _, e := range selected {
 		e.run(a)
+	}
+
+	if lv := a.p.Live; lv != nil {
+		lv.Finish()
+		if *linger > 0 {
+			fmt.Fprintf(os.Stderr, "live: runs complete; serving snapshots for %v\n", *linger)
+			time.Sleep(*linger)
+		}
+		lv.Close()
 	}
 }
 

@@ -27,6 +27,7 @@ import (
 	"prism/internal/obs"
 	"prism/internal/overlay"
 	"prism/internal/par"
+	"prism/internal/pkt"
 	"prism/internal/prio"
 	"prism/internal/sim"
 	"prism/internal/stats"
@@ -170,6 +171,7 @@ type Cluster struct {
 	links   []*par.Link
 	perRack int
 	horizon sim.Time
+	ckpt    *par.Ticker
 }
 
 // New wires the cluster a Config describes: place containers, build the
@@ -409,6 +411,79 @@ func (c *Cluster) switches() []*Switch {
 	return sw
 }
 
+// SetCheckpoint arms a virtual-time checkpoint callback: fn observes the
+// cluster every interval of virtual time, from the par coordinator
+// goroutine at barrier boundaries where every shard is parked, so it may
+// read pipelines, switch ports and node counters race-free. It must not
+// mutate simulation state. The hook never perturbs the window schedule
+// (the Windows counter in the committed golden fixtures is computed
+// identically either way). Call before Run.
+func (c *Cluster) SetCheckpoint(interval sim.Time, fn func(at sim.Time)) {
+	if interval <= 0 || fn == nil {
+		c.ckpt = nil
+		c.Group.OnBarrier = nil
+		return
+	}
+	c.ckpt = par.NewTicker(interval, fn)
+	c.Group.OnBarrier = func(windowEnd sim.Time) { c.ckpt.Advance(windowEnd - 1) }
+}
+
+// SetTap installs fn as every host's frame tap (nil uninstalls). The tap
+// observes each wire frame entering (tx=false) or leaving (tx=true) a
+// host, labeled with the host name. It runs in event context on that
+// host's shard goroutine — possibly concurrently across hosts — so fn
+// must be thread-safe, must not block, and must copy the frame if it
+// retains it. Taps are read-only observation: installing one leaves the
+// simulation schedule untouched.
+func (c *Cluster) SetTap(fn func(host string, now sim.Time, frame []byte, tx bool)) {
+	for _, n := range c.Nodes {
+		if fn == nil {
+			n.Host.Tap = nil
+			continue
+		}
+		name := n.Name
+		n.Host.Tap = func(now sim.Time, frame []byte, tx bool) { fn(name, now, frame, tx) }
+	}
+}
+
+// ClassifyFrame resolves a wire frame to the container workload it
+// belongs to. Ports are the only globally unique flow identity (container
+// IPs repeat across hosts), so the inner flow's destination port — or, for
+// reply frames, its source port — indexes the container spec. Safe to call
+// concurrently; the flow table is immutable after New.
+func (c *Cluster) ClassifyFrame(frame []byte) (container string, hi bool, ok bool) {
+	inner := frame
+	if pkt.IsVXLAN(frame) {
+		_, in, err := pkt.Decapsulate(frame)
+		if err != nil {
+			return "", false, false
+		}
+		inner = in
+	}
+	fl, err := pkt.ParseFlow(inner)
+	if err != nil {
+		return "", false, false
+	}
+	if i, found := c.flowIndexForPort(fl.DstPort); found {
+		return c.Flows[i].Spec.Name, c.Flows[i].Spec.Hi, true
+	}
+	if i, found := c.flowIndexForPort(fl.SrcPort); found {
+		return c.Flows[i].Spec.Name, c.Flows[i].Spec.Hi, true
+	}
+	return "", false, false
+}
+
+func (c *Cluster) flowIndexForPort(port uint16) (int, bool) {
+	p := int(port)
+	switch {
+	case p >= SvcPortBase && p < SvcPortBase+len(c.Flows):
+		return p - SvcPortBase, true
+	case p >= CliPortBase && p < CliPortBase+len(c.Flows):
+		return p - CliPortBase, true
+	}
+	return 0, false
+}
+
 // Run executes warmup + duration with the given worker count, resetting
 // every host core's and fabric port's utilization window at the end of
 // warmup, and arming the hosts' fault timelines.
@@ -426,7 +501,11 @@ func (c *Cluster) Run(duration sim.Time, workers int) error {
 		sw := sw
 		sw.Shard.Eng.At(warmup, func() { sw.resetWindow(warmup) })
 	}
-	return c.Group.Run(c.horizon, workers)
+	if err := c.Group.Run(c.horizon, workers); err != nil {
+		return err
+	}
+	c.ckpt.Flush(c.horizon)
+	return nil
 }
 
 // Stop ceases every generator after its current emission.
@@ -581,6 +660,20 @@ func (c *Cluster) FabricUtilization(at sim.Time) (max, mean float64) {
 		mean /= float64(n)
 	}
 	return
+}
+
+// FabricPortUtil reports every egress port's transmit occupancy at time
+// at, keyed by port name ("tor00->host03", "spine->tor01", …) — the
+// per-link view behind FabricUtilization's aggregate, published to the
+// live operator surface at checkpoints.
+func (c *Cluster) FabricPortUtil(at sim.Time) map[string]float64 {
+	util := make(map[string]float64)
+	for _, sw := range c.switches() {
+		for _, p := range sw.Ports {
+			util[p.Name] = p.Utilization(at)
+		}
+	}
+	return util
 }
 
 // FabricDrops sums the switches' discards; FabricShed the subset of

@@ -10,7 +10,9 @@ import (
 	"prism/internal/fault"
 	"prism/internal/obs"
 	"prism/internal/par"
+	"prism/internal/pkt"
 	"prism/internal/prio"
+	"prism/internal/sim"
 	"prism/internal/stats"
 	"prism/internal/traffic"
 )
@@ -107,7 +109,8 @@ func Chaos(p Params, variants []PolicyVariant, rates []float64) ChaosResult {
 // plane injects every fault class; the run is then drained to idle and
 // the conservation/leak invariants are enforced.
 func chaosPoint(p Params, v PolicyVariant, rate float64) ChaosRow {
-	pipe := obs.NewPipeline(fmt.Sprintf("chaos-%s-r%d", v.Label(), int(rate*1000)))
+	label := fmt.Sprintf("chaos-%s-r%d", v.Label(), int(rate*1000))
+	pipe := obs.NewPipeline(label)
 	opts := []RigOption{WithObs(pipe), WithPolicy(v.Policy)}
 	if rate > 0 {
 		// Rate 0 runs with no plane at all (and no shedding), so its
@@ -116,6 +119,19 @@ func chaosPoint(p Params, v PolicyVariant, rate float64) ChaosRow {
 		opts = append(opts, WithFault(&fault.Config{Seed: p.Seed, Rate: rate}), WithShed())
 	}
 	r := NewRig(p, v.Mode, opts...)
+
+	// Attach the live operator surface, when one is listening. Chaos grid
+	// points fan out over p.Workers and publish concurrently — the server
+	// is thread-safe and the streams interleave (last writer labels the
+	// run) — while each point's own digests stay bit-identical: taps and
+	// checkpoints are pure observation.
+	if lv := p.Live; lv != nil {
+		lv.SetRun(label, p.Warmup+p.Duration)
+		lv.SetClassifier(chaosClassify)
+		r.Host.Tap = lv.HostTap(label)
+		streamer := obs.NewStreamer(lv, pipe)
+		r.tb.SetCheckpoint(lv.Interval, func(at sim.Time) { streamer.Checkpoint(at) })
+	}
 
 	hi := r.Host.AddContainer("hi-srv")
 	ppHigh := traffic.NewPingPong(r.Eng, r.Host, hi, clientSrc(0), PortHighPrio, p.HighRate)
@@ -145,6 +161,10 @@ func chaosPoint(p Params, v PolicyVariant, rate float64) ChaosRow {
 	fl.Stop()
 	mustNoErr(r.Drain())
 	mustNoErr(r.CheckInvariants())
+	if p.Live != nil {
+		r.tb.SetCheckpoint(0, nil)
+		r.Host.Tap = nil
+	}
 
 	row := ChaosRow{
 		Variant:   v,
@@ -169,6 +189,36 @@ func chaosPoint(p Params, v PolicyVariant, rate float64) ChaosRow {
 	mustNoErr(err)
 	row.SpansSHA = digest(spans)
 	return row
+}
+
+// chaosClassify resolves a chaos-rig wire frame to its workload for the
+// live capture selectors. The monolithic rig's three containers listen on
+// the experiment's well-known ports, so the inner flow's destination port
+// — or, for reply frames, its source port — names the workload.
+func chaosClassify(frame []byte) (container string, hi bool, ok bool) {
+	inner := frame
+	if pkt.IsVXLAN(frame) {
+		_, in, err := pkt.Decapsulate(frame)
+		if err != nil {
+			return "", false, false
+		}
+		inner = in
+	}
+	fl, err := pkt.ParseFlow(inner)
+	if err != nil {
+		return "", false, false
+	}
+	for _, port := range [2]uint16{fl.DstPort, fl.SrcPort} {
+		switch int(port) {
+		case PortHighPrio:
+			return "hi-srv", true, true
+		case PortLowPrio:
+			return "lo-srv", false, true
+		case PortBackgrnd:
+			return "bg-srv", false, true
+		}
+	}
+	return "", false, false
 }
 
 func digest(b []byte) string {

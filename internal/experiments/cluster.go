@@ -8,6 +8,7 @@ import (
 	"prism/internal/cluster"
 	"prism/internal/obs"
 	"prism/internal/prio"
+	"prism/internal/sim"
 	"prism/internal/stats"
 )
 
@@ -145,6 +146,23 @@ func clusterPoint(p Params, cc ClusterConfig, pol cluster.Placement) (ClusterRow
 	}
 	c, err := cluster.New(cfg)
 	mustNoErr(err)
+
+	// Attach the live operator surface, when one is listening: frame taps
+	// feed /capture (classified by the cluster's flow table), and a
+	// virtual-time checkpoint streams merged metric snapshots, trace
+	// deltas and per-port fabric load. All hooks are pure observation at
+	// quiescent points — the digests below stay bit-identical either way.
+	if lv := p.Live; lv != nil {
+		lv.SetRun("cluster/"+pol.String(), cfg.Warmup+p.Duration)
+		lv.SetClassifier(c.ClassifyFrame)
+		c.SetTap(lv.Tap)
+		streamer := obs.NewStreamer(lv, c.Pipes()...)
+		c.SetCheckpoint(lv.Interval, func(at sim.Time) {
+			lv.PublishFabric(c.FabricPortUtil(at))
+			streamer.Checkpoint(at)
+		})
+	}
+
 	mustNoErr(c.Run(p.Duration, p.Workers))
 
 	row := ClusterRow{Placement: pol.String(), Windows: c.Group.Windows}
@@ -169,6 +187,14 @@ func clusterPoint(p Params, cc ClusterConfig, pol cluster.Placement) (ClusterRow
 	spans, err := json.Marshal(obs.MergeEvents(streams...))
 	mustNoErr(err)
 	row.SpansSHA = digest(spans)
+
+	// Stop observing before Settle extends the clocks past the measured
+	// horizon: the final checkpoint (flushed at the horizon inside Run)
+	// is the last snapshot the live surface serves for this point.
+	if p.Live != nil {
+		c.SetCheckpoint(0, nil)
+		c.SetTap(nil)
+	}
 
 	// Tear down cleanly and enforce the zero-leak invariants cluster-wide.
 	mustNoErr(c.Settle(0, p.Workers))

@@ -8,6 +8,7 @@ package experiments
 import (
 	"prism/internal/cpu"
 	"prism/internal/fault"
+	"prism/internal/live"
 	"prism/internal/nic"
 	"prism/internal/obs"
 	"prism/internal/overlay"
@@ -62,6 +63,15 @@ type Params struct {
 	// (hardware flow steering), removing the stage-1 limitation. Off by
 	// default — the paper's prototype does not have it.
 	DriverPrio bool
+
+	// Live optionally attaches the HTTP operator surface (prismsim
+	// -listen): experiments that support it publish checkpoint metric
+	// snapshots, trace deltas, frame taps and run status into the server
+	// while they execute. Nil leaves every hook uninstalled. Attaching a
+	// server never changes simulation results — the live-surface
+	// determinism tests re-derive the committed golden digests with a
+	// server attached at every worker count.
+	Live *live.Server
 
 	// Workers is the parallelism of multi-point experiment drivers
 	// (Fig. 9's mode set, Fig. 11's load grid, the RSS scaling queue

@@ -1,0 +1,230 @@
+package live
+
+import (
+	"net/http"
+	"sync"
+	"sync/atomic"
+
+	"prism/internal/pcap"
+	"prism/internal/sim"
+)
+
+// Classify resolves a wire frame to its capture identity: which container
+// workload it belongs to and whether it is high priority. Implementations
+// (cluster.ClassifyFrame, the chaos rig's port table) run on simulation
+// shard goroutines, so they must be thread-safe and read-only.
+type Classify func(frame []byte) (container string, hi bool, ok bool)
+
+// selector is one /capture subscription's filter.
+type selector struct {
+	container string // exact container name; "" matches any
+	host      string // exact host name; "" matches any
+	prio      string // "hi", "lo", "" / "any"
+	dir       string // "rx", "tx", "" for both
+}
+
+// capturePkt is one tapped frame, already copied out of simulation
+// ownership. Subscribers matching the same frame share the copy
+// (read-only from here on).
+type capturePkt struct {
+	at    sim.Time
+	frame []byte
+}
+
+// subBufDepth is each subscriber's channel depth; a consumer that falls
+// further behind than this loses frames (counted, never blocking the sim).
+const subBufDepth = 1024
+
+type subscriber struct {
+	sel     selector
+	ch      chan capturePkt
+	dropped uint64
+}
+
+// hub fans tapped frames out to capture subscribers. The tap path is the
+// only code called from simulation goroutines: one atomic load when idle,
+// and a short critical section (match, copy, non-blocking send) when
+// someone is capturing.
+type hub struct {
+	active atomic.Int32
+
+	mu       sync.Mutex
+	classify Classify
+	subs     map[*subscriber]bool
+	dropped  uint64
+	closed   bool
+}
+
+func (h *hub) init() { h.subs = make(map[*subscriber]bool) }
+
+func (h *hub) setClassify(fn Classify) {
+	h.mu.Lock()
+	h.classify = fn
+	h.mu.Unlock()
+}
+
+func (h *hub) droppedCount() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.dropped
+}
+
+// subscribe registers a capture stream; the returned subscriber's channel
+// closes when the hub shuts down. Subscribing after closeAll yields an
+// already-closed channel (the handler then serves an empty capture).
+func (h *hub) subscribe(sel selector) *subscriber {
+	sub := &subscriber{sel: sel, ch: make(chan capturePkt, subBufDepth)}
+	h.mu.Lock()
+	if h.closed {
+		close(sub.ch)
+	} else {
+		h.subs[sub] = true
+		h.active.Store(int32(len(h.subs)))
+	}
+	h.mu.Unlock()
+	return sub
+}
+
+func (h *hub) unsubscribe(sub *subscriber) {
+	h.mu.Lock()
+	if h.subs[sub] {
+		delete(h.subs, sub)
+		h.active.Store(int32(len(h.subs)))
+	}
+	h.mu.Unlock()
+}
+
+// closeAll ends every capture stream (end of run).
+func (h *hub) closeAll() {
+	h.mu.Lock()
+	h.closed = true
+	for sub := range h.subs {
+		close(sub.ch)
+		delete(h.subs, sub)
+	}
+	h.active.Store(0)
+	h.mu.Unlock()
+}
+
+// tap fans one frame out to matching subscribers. Runs in event context
+// on a simulation shard goroutine; it must stay cheap and never block.
+func (h *hub) tap(host string, now sim.Time, frame []byte, tx bool) {
+	if h.active.Load() == 0 {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.subs) == 0 {
+		return
+	}
+	dir := "rx"
+	if tx {
+		dir = "tx"
+	}
+	var (
+		classified  bool
+		container   string
+		hi, classOK bool
+		shared      []byte
+	)
+	for sub := range h.subs {
+		sel := sub.sel
+		if sel.host != "" && sel.host != host {
+			continue
+		}
+		if sel.dir != "" && sel.dir != dir {
+			continue
+		}
+		if sel.container != "" || sel.prio == "hi" || sel.prio == "lo" {
+			if !classified {
+				classified = true
+				if h.classify != nil {
+					container, hi, classOK = h.classify(frame)
+				}
+			}
+			if !classOK {
+				continue
+			}
+			if sel.container != "" && sel.container != container {
+				continue
+			}
+			if sel.prio == "hi" && !hi {
+				continue
+			}
+			if sel.prio == "lo" && hi {
+				continue
+			}
+		}
+		if shared == nil {
+			shared = append([]byte(nil), frame...)
+		}
+		select {
+		case sub.ch <- capturePkt{at: now, frame: shared}:
+		default:
+			sub.dropped++
+			h.dropped++
+		}
+	}
+}
+
+// flushWriter flushes the HTTP response after every write, so each pcap
+// record reaches a tailing consumer (Wireshark, curl) immediately.
+type flushWriter struct {
+	w  http.ResponseWriter
+	fl http.Flusher
+}
+
+func (fw flushWriter) Write(p []byte) (int, error) {
+	n, err := fw.w.Write(p)
+	if err == nil {
+		fw.fl.Flush()
+	}
+	return n, err
+}
+
+func (s *Server) handleCapture(w http.ResponseWriter, r *http.Request) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	sel, max, err := parseCaptureQuery(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	sub := s.hub.subscribe(sel)
+	defer s.hub.unsubscribe(sub)
+
+	w.Header().Set("Content-Type", "application/vnd.tcpdump.pcap")
+	w.Header().Set("Content-Disposition", `attachment; filename="prism-live.pcap"`)
+	sw, err := pcap.NewStreamWriter(flushWriter{w: w, fl: fl})
+	if err != nil {
+		return
+	}
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case pk, open := <-sub.ch:
+			if !open {
+				return
+			}
+			if err := sw.WritePacket(pk.at, pk.frame); err != nil {
+				return
+			}
+			if max > 0 && sw.Packets >= uint64(max) {
+				return
+			}
+		}
+	}
+}
+
+// CaptureDropped reports frames dropped across all capture subscribers
+// (for tests and diagnostics).
+func (s *Server) CaptureDropped() uint64 { return s.hub.droppedCount() }
+
+// CaptureSubscribers reports the number of active /capture streams —
+// used by tests (and operators) to confirm a subscription is armed
+// before a run starts.
+func (s *Server) CaptureSubscribers() int { return int(s.hub.active.Load()) }

@@ -12,23 +12,52 @@ import (
 // Prometheus text exposition
 // ---------------------------------------------------------------------------
 
+// escapeLabelValue escapes a label value per the Prometheus text
+// exposition format, which defines exactly three escapes: backslash,
+// double-quote, and line feed. Go's %q is close but not conformant — it
+// also escapes tabs, control bytes, and non-ASCII runes, which a
+// spec-compliant scraper would read back literally.
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	b.Grow(len(v) + 2)
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
 // promLabels renders a label set in exposition syntax. Empty string
 // labels are omitted; priority is always rendered (0 is the best-effort
 // class, a real value).
 func promLabels(l Labels, extra ...string) string {
+	pair := func(name, value string) string {
+		return name + `="` + escapeLabelValue(value) + `"`
+	}
 	parts := make([]string, 0, 4+len(extra)/2)
 	if l.Device != "" {
-		parts = append(parts, fmt.Sprintf("device=%q", l.Device))
+		parts = append(parts, pair("device", l.Device))
 	}
-	parts = append(parts, fmt.Sprintf("priority=%q", fmt.Sprint(l.Priority)))
+	parts = append(parts, pair("priority", fmt.Sprint(l.Priority)))
 	if l.Shard != "" {
-		parts = append(parts, fmt.Sprintf("shard=%q", l.Shard))
+		parts = append(parts, pair("shard", l.Shard))
 	}
 	if l.Stage != "" {
-		parts = append(parts, fmt.Sprintf("stage=%q", l.Stage))
+		parts = append(parts, pair("stage", l.Stage))
 	}
 	for i := 0; i+1 < len(extra); i += 2 {
-		parts = append(parts, fmt.Sprintf("%s=%q", extra[i], extra[i+1]))
+		parts = append(parts, pair(extra[i], extra[i+1]))
 	}
 	sort.Strings(parts)
 	return "{" + strings.Join(parts, ",") + "}"
@@ -220,6 +249,34 @@ type chromeTraceFile struct {
 	DisplayTimeUnit string        `json:"displayTimeUnit"`
 }
 
+// chromeEventFor converts one lifecycle event to its trace-viewer form:
+// spans become complete ("X") events, instants thread-scoped instant
+// ("i") events. Timestamps are virtual-time microseconds.
+func chromeEventFor(ev Event, pid, tid int) chromeEvent {
+	ce := chromeEvent{
+		Name: ev.Stage,
+		Cat:  "lifecycle",
+		Ts:   float64(ev.Start) / 1e3,
+		Pid:  pid,
+		Tid:  tid,
+	}
+	args := map[string]any{"priority": ev.Priority}
+	if ev.Pkt != NoPacket {
+		args["pkt"] = ev.Pkt
+	}
+	ce.Args = args
+	if ev.Kind == KindSpan {
+		ce.Ph = "X"
+		ce.Cat = "stage"
+		dur := float64(ev.Duration()) / 1e3
+		ce.Dur = &dur
+	} else {
+		ce.Ph = "i"
+		ce.S = "t"
+	}
+	return ce
+}
+
 // ChromeTrace renders event streams as Chrome trace-event JSON: spans
 // become complete ("X") events, instants become thread-scoped instant
 // ("i") events, each process (engine run) gets a process_name metadata
@@ -259,28 +316,7 @@ func ChromeTrace(procs ...TraceProcess) ([]byte, error) {
 			return events[i].Seq < events[j].Seq
 		})
 		for _, ev := range events {
-			ce := chromeEvent{
-				Name: ev.Stage,
-				Cat:  "lifecycle",
-				Ts:   float64(ev.Start) / 1e3,
-				Pid:  pid,
-				Tid:  tids[ev.Device],
-			}
-			args := map[string]any{"priority": ev.Priority}
-			if ev.Pkt != NoPacket {
-				args["pkt"] = ev.Pkt
-			}
-			ce.Args = args
-			if ev.Kind == KindSpan {
-				ce.Ph = "X"
-				ce.Cat = "stage"
-				dur := float64(ev.Duration()) / 1e3
-				ce.Dur = &dur
-			} else {
-				ce.Ph = "i"
-				ce.S = "t"
-			}
-			file.TraceEvents = append(file.TraceEvents, ce)
+			file.TraceEvents = append(file.TraceEvents, chromeEventFor(ev, pid, tids[ev.Device]))
 		}
 	}
 	return json.MarshalIndent(file, "", " ")

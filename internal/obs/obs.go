@@ -287,6 +287,33 @@ func (t *Tracer) Events() []Event {
 	return out
 }
 
+// EventsSince returns the buffered events whose sequence number is at or
+// past cursor, in recording order — the incremental-export counterpart of
+// Events. Pass the previous call's Total() as the cursor to drain only
+// what arrived since. Events that were overwritten in the ring before
+// being drained are lost (the Overwritten counter reports how many); the
+// live surface trades that bounded loss for bounded memory.
+func (t *Tracer) EventsSince(cursor uint64) []Event {
+	if t == nil || cursor >= t.seq {
+		return nil
+	}
+	// The ring holds events with Seq in [t.seq-len(t.events), t.seq).
+	oldest := t.seq - uint64(len(t.events))
+	skip := 0
+	if cursor > oldest {
+		skip = int(cursor - oldest)
+	}
+	out := make([]Event, 0, len(t.events)-skip)
+	tail := t.events[t.head:]
+	if skip < len(tail) {
+		out = append(out, tail[skip:]...)
+		out = append(out, t.events[:t.head]...)
+	} else {
+		out = append(out, t.events[skip-len(tail):t.head]...)
+	}
+	return out
+}
+
 // MergeEvents folds shard-local event streams into one, ordered by
 // (time, stream index, per-stream sequence). Pass streams in shard ID
 // order; the stream index breaks cross-shard timestamp ties the same way

@@ -1,0 +1,114 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+
+	"prism/internal/sim"
+)
+
+// Sink consumes incremental observability output at virtual-time
+// checkpoints. reg is a freshly merged registry snapshot the sink owns
+// outright; delta is the merged stream of span/instant events recorded
+// since the previous checkpoint. Implementations must not retain
+// references into the pipelines — everything handed over is already
+// copied or merged.
+//
+// Sink is the seam between deterministic collection and live export: the
+// simulation side (testbed, cluster) decides *when* a checkpoint is safe
+// (engine quiescent, or all par shards parked at a barrier) and drives a
+// Streamer; the consumer side (internal/live) renders and serves without
+// ever touching simulation state.
+type Sink interface {
+	Checkpoint(at sim.Time, reg *Registry, delta []Event)
+}
+
+// Streamer drains a fixed set of pipelines into a Sink incrementally.
+// Each Checkpoint merges the pipelines' registries into a fresh snapshot
+// (the same MergeRegistries path the end-of-run digests use) and drains
+// each tracer from its cursor, so consecutive checkpoints see each event
+// exactly once. Pass pipelines in shard ID order — MergeEvents breaks
+// equal-time ties by stream index, and shard order is the discipline
+// every other merge in the tree follows.
+//
+// Checkpoint must only be called while the pipelines are quiescent: from
+// the engine's own goroutine (monolithic runs) or the par coordinator at
+// a barrier (sharded runs). The Streamer itself is single-caller and
+// lock-free; thread safety is the Sink's problem.
+type Streamer struct {
+	sink    Sink
+	pipes   []*Pipeline
+	cursors []uint64
+}
+
+// NewStreamer wires pipelines (in shard ID order) to sink. A nil sink or
+// empty pipeline set yields a Streamer whose Checkpoint is a no-op.
+func NewStreamer(sink Sink, pipes ...*Pipeline) *Streamer {
+	return &Streamer{sink: sink, pipes: pipes, cursors: make([]uint64, len(pipes))}
+}
+
+// Checkpoint snapshots the pipelines as of virtual time at and hands the
+// merged registry plus the event delta to the sink. Nil-safe.
+func (s *Streamer) Checkpoint(at sim.Time) {
+	if s == nil || s.sink == nil || len(s.pipes) == 0 {
+		return
+	}
+	regs := make([]*Registry, len(s.pipes))
+	deltas := make([][]Event, len(s.pipes))
+	for i, p := range s.pipes {
+		regs[i] = p.M
+		deltas[i] = p.T.EventsSince(s.cursors[i])
+		s.cursors[i] = p.T.Total()
+	}
+	s.sink.Checkpoint(at, MergeRegistries(regs...), MergeEvents(deltas...))
+}
+
+// ChromeStream renders event deltas as newline-delimited Chrome trace
+// events — the incremental counterpart of ChromeTrace. Each Append call
+// emits one JSON object per line: process/thread metadata rows the first
+// time a process or device appears, then one event per lifecycle record.
+// Thread IDs are assigned in first-appearance order, which is
+// deterministic because the event delta stream itself is.
+type ChromeStream struct {
+	name string
+	pid  int
+	meta bool
+	tids map[string]int
+}
+
+// NewChromeStream returns a stream whose process row carries name.
+func NewChromeStream(name string) *ChromeStream {
+	return &ChromeStream{name: name, pid: 1, tids: make(map[string]int)}
+}
+
+// Append encodes events (plus any newly needed metadata rows) as NDJSON
+// into buf.
+func (cs *ChromeStream) Append(buf *bytes.Buffer, events []Event) error {
+	enc := json.NewEncoder(buf)
+	if !cs.meta {
+		cs.meta = true
+		if err := enc.Encode(chromeEvent{
+			Name: "process_name", Ph: "M", Pid: cs.pid, Tid: 0,
+			Args: map[string]any{"name": cs.name},
+		}); err != nil {
+			return err
+		}
+	}
+	for _, ev := range events {
+		tid, ok := cs.tids[ev.Device]
+		if !ok {
+			tid = len(cs.tids) + 1
+			cs.tids[ev.Device] = tid
+			if err := enc.Encode(chromeEvent{
+				Name: "thread_name", Ph: "M", Pid: cs.pid, Tid: tid,
+				Args: map[string]any{"name": ev.Device},
+			}); err != nil {
+				return err
+			}
+		}
+		if err := enc.Encode(chromeEventFor(ev, cs.pid, tid)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

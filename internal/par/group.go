@@ -21,6 +21,18 @@ type Group struct {
 
 	// Windows counts synchronization rounds, for tests and tuning.
 	Windows uint64
+
+	// OnBarrier, when set, runs on the coordinator goroutine at the end of
+	// every synchronization window, after the window's events have executed
+	// and cross-shard sends have been collected. All shards are quiescent
+	// (their worker goroutines have joined), so the callback may read any
+	// shard-local state race-free. It must not mutate simulation state or
+	// schedule events — it is an observation point, not a participant: the
+	// window schedule (and the Windows counter committed in golden
+	// fixtures) is computed identically whether or not a hook is installed.
+	// windowEnd is the window's exclusive bound: every event strictly
+	// before it has executed.
+	OnBarrier func(windowEnd sim.Time)
 }
 
 // NewGroup returns an empty group.
@@ -88,6 +100,9 @@ func (g *Group) Run(horizon sim.Time, workers int) error {
 			return err
 		}
 		g.collect()
+		if g.OnBarrier != nil {
+			g.OnBarrier(end)
+		}
 	}
 	// Finish with every clock at the horizon, mirroring Engine.Run.
 	for _, s := range g.shards {

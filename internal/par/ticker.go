@@ -1,0 +1,64 @@
+package par
+
+import "prism/internal/sim"
+
+// Ticker quantizes an advancing virtual clock into fixed-interval
+// checkpoint callbacks. Runners drive it from whatever boundaries their
+// execution model exposes — barrier windows (Group.OnBarrier) or sliced
+// monolithic horizons — and the ticker fires the callback at every
+// interval multiple covered so far, exactly once each, regardless of how
+// the boundaries land. It performs no synchronization itself: call it
+// only from points where the observed state is quiescent.
+type Ticker struct {
+	interval sim.Time
+	fn       func(at sim.Time)
+	next     sim.Time
+	// fired tracks the last timestamp delivered, so Flush never double
+	// reports a boundary Advance already covered.
+	fired    sim.Time
+	hasFired bool
+}
+
+// NewTicker returns a ticker firing fn at every multiple of interval.
+// A nil fn or non-positive interval yields a ticker that never fires.
+func NewTicker(interval sim.Time, fn func(at sim.Time)) *Ticker {
+	t := &Ticker{interval: interval, fn: fn, next: interval}
+	if interval <= 0 {
+		t.fn = nil
+	}
+	return t
+}
+
+// Advance fires the callback for every pending interval multiple ≤ now.
+// Nil-safe.
+func (t *Ticker) Advance(now sim.Time) {
+	if t == nil || t.fn == nil {
+		return
+	}
+	for t.next <= now {
+		t.fire(t.next)
+		t.next += t.interval
+	}
+}
+
+// Flush fires the callback once at exactly `at` if nothing at or past it
+// has fired yet — the end-of-run hook that reports a final partial
+// interval. Nil-safe.
+func (t *Ticker) Flush(at sim.Time) {
+	if t == nil || t.fn == nil {
+		return
+	}
+	if t.hasFired && t.fired >= at {
+		return
+	}
+	t.fire(at)
+	for t.next <= at {
+		t.next += t.interval
+	}
+}
+
+func (t *Ticker) fire(at sim.Time) {
+	t.fired = at
+	t.hasFired = true
+	t.fn(at)
+}

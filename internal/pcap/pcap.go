@@ -13,9 +13,15 @@ import (
 	"prism/internal/sim"
 )
 
-// File-format constants (pcap classic, microsecond timestamps).
+// File-format constants (pcap classic). sim.Time is nanoseconds, so the
+// writer uses the nanosecond-resolution magic; Parse also accepts the
+// legacy microsecond magic for captures written by older versions.
 const (
-	magicNumber  = 0xa1b2c3d4
+	// MagicMicros is the classic pcap magic (microsecond timestamps).
+	MagicMicros = 0xa1b2c3d4
+	// MagicNanos is the nanosecond-resolution pcap magic (PCAP_NSEC_MAGIC).
+	MagicNanos = 0xa1b23c4d
+
 	versionMajor = 2
 	versionMinor = 4
 	// LinkTypeEthernet is LINKTYPE_ETHERNET (DLT_EN10MB).
@@ -23,6 +29,23 @@ const (
 	// SnapLen is the per-packet capture limit; frames here are ≤ MTU+headers.
 	SnapLen = 65535
 )
+
+func appendFileHeader(hdr *[24]byte) {
+	binary.LittleEndian.PutUint32(hdr[0:4], MagicNanos)
+	binary.LittleEndian.PutUint16(hdr[4:6], versionMajor)
+	binary.LittleEndian.PutUint16(hdr[6:8], versionMinor)
+	// thiszone (0), sigfigs (0) are already zero.
+	binary.LittleEndian.PutUint32(hdr[16:20], SnapLen)
+	binary.LittleEndian.PutUint32(hdr[20:24], LinkTypeEthernet)
+}
+
+func appendRecordHeader(rec *[16]byte, at sim.Time, caplen int) {
+	ts := int64(at)
+	binary.LittleEndian.PutUint32(rec[0:4], uint32(ts/int64(sim.Second)))
+	binary.LittleEndian.PutUint32(rec[4:8], uint32(ts%int64(sim.Second)))
+	binary.LittleEndian.PutUint32(rec[8:12], uint32(caplen))
+	binary.LittleEndian.PutUint32(rec[12:16], uint32(caplen))
+}
 
 // Writer emits a pcap stream. Not safe for concurrent use; the simulator
 // is single-threaded.
@@ -40,12 +63,7 @@ func NewWriter(w io.Writer) *Writer { return &Writer{w: w} }
 
 func (p *Writer) writeHeader() error {
 	var hdr [24]byte
-	binary.LittleEndian.PutUint32(hdr[0:4], magicNumber)
-	binary.LittleEndian.PutUint16(hdr[4:6], versionMajor)
-	binary.LittleEndian.PutUint16(hdr[6:8], versionMinor)
-	// thiszone (0), sigfigs (0) are already zero.
-	binary.LittleEndian.PutUint32(hdr[16:20], SnapLen)
-	binary.LittleEndian.PutUint32(hdr[20:24], LinkTypeEthernet)
+	appendFileHeader(&hdr)
 	_, err := p.w.Write(hdr[:])
 	p.started = err == nil
 	return err
@@ -62,11 +80,7 @@ func (p *Writer) WritePacket(at sim.Time, frame []byte) error {
 		frame = frame[:SnapLen]
 	}
 	var rec [16]byte
-	ts := int64(at)
-	binary.LittleEndian.PutUint32(rec[0:4], uint32(ts/int64(sim.Second)))
-	binary.LittleEndian.PutUint32(rec[4:8], uint32(ts%int64(sim.Second)/int64(sim.Microsecond)))
-	binary.LittleEndian.PutUint32(rec[8:12], uint32(len(frame)))
-	binary.LittleEndian.PutUint32(rec[12:16], uint32(len(frame)))
+	appendRecordHeader(&rec, at, len(frame))
 	if _, err := p.w.Write(rec[:]); err != nil {
 		return fmt.Errorf("pcap: record header: %w", err)
 	}
@@ -85,20 +99,74 @@ func (p *Writer) Flush() error {
 	return p.writeHeader()
 }
 
+// StreamWriter emits a pcap stream incrementally: the file header goes out
+// eagerly at construction and each record is written in a single Write
+// call, so a consumer tailing the stream (Wireshark on a pipe, curl over
+// HTTP chunked encoding) sees a valid capture at every record boundary.
+// Not safe for concurrent use; callers serialize WritePacket.
+type StreamWriter struct {
+	w   io.Writer
+	buf []byte
+
+	// Packets and Bytes count records and payload+header bytes written.
+	Packets uint64
+	Bytes   uint64
+}
+
+// NewStreamWriter wraps w and immediately writes the pcap file header, so
+// even a packet-less stream is a valid (empty) capture.
+func NewStreamWriter(w io.Writer) (*StreamWriter, error) {
+	var hdr [24]byte
+	appendFileHeader(&hdr)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return nil, fmt.Errorf("pcap: stream header: %w", err)
+	}
+	return &StreamWriter{w: w, Bytes: uint64(len(hdr))}, nil
+}
+
+// WritePacket appends one frame with the given virtual timestamp. Record
+// header and payload are coalesced into one Write so downstream flushers
+// never observe a torn record.
+func (p *StreamWriter) WritePacket(at sim.Time, frame []byte) error {
+	if len(frame) > SnapLen {
+		frame = frame[:SnapLen]
+	}
+	var rec [16]byte
+	appendRecordHeader(&rec, at, len(frame))
+	p.buf = append(p.buf[:0], rec[:]...)
+	p.buf = append(p.buf, frame...)
+	n, err := p.w.Write(p.buf)
+	p.Bytes += uint64(n)
+	if err != nil {
+		return fmt.Errorf("pcap: stream record: %w", err)
+	}
+	p.Packets++
+	return nil
+}
+
 // Record is one parsed capture record (for tests and tooling).
 type Record struct {
 	At    sim.Time
 	Frame []byte
 }
 
-// Parse reads back a classic little-endian pcap stream written by Writer.
+// Parse reads back a little-endian pcap stream written by Writer or
+// StreamWriter. Both the nanosecond (0xa1b23c4d) and classic microsecond
+// (0xa1b2c3d4) magics are accepted; the sub-second field is scaled
+// accordingly.
 func Parse(r io.Reader) ([]Record, error) {
 	var hdr [24]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return nil, fmt.Errorf("pcap: short header: %w", err)
 	}
-	if binary.LittleEndian.Uint32(hdr[0:4]) != magicNumber {
-		return nil, fmt.Errorf("pcap: bad magic %#x", binary.LittleEndian.Uint32(hdr[0:4]))
+	var subsecUnit int64
+	switch magic := binary.LittleEndian.Uint32(hdr[0:4]); magic {
+	case MagicNanos:
+		subsecUnit = 1
+	case MagicMicros:
+		subsecUnit = int64(sim.Microsecond)
+	default:
+		return nil, fmt.Errorf("pcap: bad magic %#x", magic)
 	}
 	if lt := binary.LittleEndian.Uint32(hdr[20:24]); lt != LinkTypeEthernet {
 		return nil, fmt.Errorf("pcap: unsupported link type %d", lt)
@@ -120,7 +188,7 @@ func Parse(r io.Reader) ([]Record, error) {
 			return nil, fmt.Errorf("pcap: truncated payload: %w", err)
 		}
 		at := sim.Time(int64(binary.LittleEndian.Uint32(rec[0:4]))*int64(sim.Second) +
-			int64(binary.LittleEndian.Uint32(rec[4:8]))*int64(sim.Microsecond))
+			int64(binary.LittleEndian.Uint32(rec[4:8]))*subsecUnit)
 		out = append(out, Record{At: at, Frame: frame})
 	}
 }

@@ -28,8 +28,9 @@ func TestHeaderFormat(t *testing.T) {
 	if len(b) != 24 {
 		t.Fatalf("header length = %d", len(b))
 	}
-	if binary.LittleEndian.Uint32(b[0:4]) != 0xa1b2c3d4 {
-		t.Errorf("magic = %#x", binary.LittleEndian.Uint32(b[0:4]))
+	if binary.LittleEndian.Uint32(b[0:4]) != MagicNanos {
+		t.Errorf("magic = %#x, want nanosecond magic %#x",
+			binary.LittleEndian.Uint32(b[0:4]), uint32(MagicNanos))
 	}
 	if binary.LittleEndian.Uint16(b[4:6]) != 2 || binary.LittleEndian.Uint16(b[6:8]) != 4 {
 		t.Error("version != 2.4")
@@ -46,8 +47,8 @@ func TestWriteParseRoundTrip(t *testing.T) {
 		at    sim.Time
 		frame []byte
 	}{
-		{1500 * sim.Microsecond, sampleFrame("one")},
-		{2*sim.Second + 7*sim.Microsecond, sampleFrame("two")},
+		{1500*sim.Microsecond + 3, sampleFrame("one")},
+		{2*sim.Second + 7*sim.Microsecond + 891, sampleFrame("two")},
 	}
 	for _, f := range frames {
 		if err := w.WritePacket(f.at, f.frame); err != nil {
@@ -68,15 +69,85 @@ func TestWriteParseRoundTrip(t *testing.T) {
 		if !bytes.Equal(r.Frame, frames[i].frame) {
 			t.Errorf("record %d frame corrupted", i)
 		}
-		// Timestamps round-trip at microsecond resolution.
-		want := frames[i].at / sim.Microsecond * sim.Microsecond
-		if r.At != want {
-			t.Errorf("record %d at %v, want %v", i, r.At, want)
+		// Timestamps round-trip exactly (nanosecond magic).
+		if r.At != frames[i].at {
+			t.Errorf("record %d at %v, want %v", i, r.At, frames[i].at)
 		}
 		// The payload must still parse as a real frame.
 		if _, err := pkt.ParseFlow(r.Frame); err != nil {
 			t.Errorf("record %d not a valid frame: %v", i, err)
 		}
+	}
+}
+
+// Captures written with the legacy microsecond magic still parse, with
+// sub-second timestamps scaled back to nanoseconds.
+func TestParseAcceptsMicrosecondMagic(t *testing.T) {
+	var buf bytes.Buffer
+	var hdr [24]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], MagicMicros)
+	binary.LittleEndian.PutUint16(hdr[4:6], 2)
+	binary.LittleEndian.PutUint16(hdr[6:8], 4)
+	binary.LittleEndian.PutUint32(hdr[16:20], SnapLen)
+	binary.LittleEndian.PutUint32(hdr[20:24], LinkTypeEthernet)
+	buf.Write(hdr[:])
+	frame := sampleFrame("legacy")
+	var rec [16]byte
+	binary.LittleEndian.PutUint32(rec[0:4], 3)    // seconds
+	binary.LittleEndian.PutUint32(rec[4:8], 1500) // microseconds
+	binary.LittleEndian.PutUint32(rec[8:12], uint32(len(frame)))
+	binary.LittleEndian.PutUint32(rec[12:16], uint32(len(frame)))
+	buf.Write(rec[:])
+	buf.Write(frame)
+
+	recs, err := Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("parsed %d records", len(recs))
+	}
+	want := 3*sim.Second + 1500*sim.Microsecond
+	if recs[0].At != want {
+		t.Errorf("At = %v, want %v", recs[0].At, want)
+	}
+	if !bytes.Equal(recs[0].Frame, frame) {
+		t.Error("frame corrupted")
+	}
+}
+
+// A StreamWriter output is a valid capture at every record boundary: the
+// header is present before any packet, and each prefix parses cleanly.
+func TestStreamWriterIncremental(t *testing.T) {
+	var buf bytes.Buffer
+	sw, err := NewStreamWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recs, err := Parse(bytes.NewReader(buf.Bytes())); err != nil || len(recs) != 0 {
+		t.Fatalf("empty stream should parse as 0 records, got %d, %v", len(recs), err)
+	}
+	stamps := []sim.Time{7, 1500*sim.Microsecond + 3, 2*sim.Second + 123456789}
+	for i, at := range stamps {
+		if err := sw.WritePacket(at, sampleFrame("pkt")); err != nil {
+			t.Fatal(err)
+		}
+		recs, err := Parse(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("prefix after %d records does not parse: %v", i+1, err)
+		}
+		if len(recs) != i+1 {
+			t.Fatalf("prefix parsed %d records, want %d", len(recs), i+1)
+		}
+		if recs[i].At != at {
+			t.Errorf("record %d at %v, want exact nanosecond %v", i, recs[i].At, at)
+		}
+	}
+	if sw.Packets != uint64(len(stamps)) {
+		t.Errorf("Packets = %d", sw.Packets)
+	}
+	if sw.Bytes != uint64(buf.Len()) {
+		t.Errorf("Bytes = %d, buffer holds %d", sw.Bytes, buf.Len())
 	}
 }
 

@@ -130,6 +130,9 @@ type Testbed struct {
 
 	toServer []*par.Link
 	horizon  sim.Time
+
+	ckptEvery  sim.Time
+	ckptTicker *par.Ticker
 }
 
 // New wires the testbed a Spec describes.
@@ -323,6 +326,32 @@ func (t *Testbed) Inject(q int) func(now, arrive sim.Time, frame []byte) {
 	}
 }
 
+// SetCheckpoint arms a virtual-time checkpoint callback: fn observes the
+// testbed every interval of virtual time, at points where every engine is
+// quiescent, so it may read hosts, pipelines and counters race-free. It
+// must not mutate simulation state. Checkpoints are pure observation and
+// provably leave the run bit-identical: a Monolithic run is sliced into
+// consecutive Engine.Run horizons (the event schedule is untouched —
+// running to t1 then t2 executes exactly the events one run to t2 would),
+// and sharded runs hook the par barrier on the coordinator goroutine
+// without altering the window schedule. Call before Run.
+func (t *Testbed) SetCheckpoint(interval sim.Time, fn func(at sim.Time)) {
+	if interval <= 0 || fn == nil {
+		t.ckptEvery, t.ckptTicker = 0, nil
+		if t.Group != nil {
+			t.Group.OnBarrier = nil
+		}
+		return
+	}
+	t.ckptEvery = interval
+	t.ckptTicker = par.NewTicker(interval, fn)
+	if t.Group != nil {
+		// All events strictly before windowEnd have executed at a barrier,
+		// so every interval multiple ≤ windowEnd-1 is fully covered.
+		t.Group.OnBarrier = func(windowEnd sim.Time) { t.ckptTicker.Advance(windowEnd - 1) }
+	}
+}
+
 // Run executes warmup + duration (with the given worker count when
 // sharded), resetting every host's processing-core utilization window at
 // the end of warmup so utilization reflects only the measured interval.
@@ -338,9 +367,25 @@ func (t *Testbed) Run(warmup, duration sim.Time, workers int) error {
 		p.Start(t.horizon)
 	}
 	if t.Group == nil {
-		return t.Eng.Run(t.horizon)
+		if t.ckptTicker != nil {
+			for at := t.ckptEvery; at < t.horizon; at += t.ckptEvery {
+				if err := t.Eng.Run(at); err != nil {
+					return err
+				}
+				t.ckptTicker.Advance(at)
+			}
+		}
+		if err := t.Eng.Run(t.horizon); err != nil {
+			return err
+		}
+		t.ckptTicker.Flush(t.horizon)
+		return nil
 	}
-	return t.Group.Run(t.horizon, workers)
+	if err := t.Group.Run(t.horizon, workers); err != nil {
+		return err
+	}
+	t.ckptTicker.Flush(t.horizon)
+	return nil
 }
 
 // Drain runs a Monolithic testbed to event-queue idle after the horizon,
