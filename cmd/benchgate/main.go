@@ -5,8 +5,12 @@
 // place), and then invokes this gate:
 //
 //	cp BENCH_results.json /tmp/baseline.json
-//	go test -run XXX -bench 'SoftirqPoll|AblationBurst' -benchmem .
+//	go test -run XXX -bench "$(go run ./cmd/benchgate -print-gated-regex)" -benchmem .
 //	go run ./cmd/benchgate -baseline /tmp/baseline.json
+//
+// The gated set lives in one place — gatedBenchRegex below — and CI
+// derives its -bench expression from -print-gated-regex, so adding a
+// benchmark to the gate is one edit here and nothing else.
 //
 // Benchmarks present on only one side are reported but never fail the
 // gate, so adding or retiring a benchmark does not need a baseline dance.
@@ -19,6 +23,11 @@ import (
 	"os"
 	"sort"
 )
+
+// gatedBenchRegex selects the regression-gated benchmarks: the pooled
+// softirq hot path, the burst ablation, and the cluster sweep. This is
+// the single source of truth — the CI bench job runs exactly this set.
+const gatedBenchRegex = "BenchmarkSoftirqPoll|BenchmarkAblationBurst|BenchmarkClusterSweep"
 
 type record struct {
 	Name    string  `json:"name"`
@@ -45,7 +54,12 @@ func main() {
 	baseline := flag.String("baseline", "", "committed baseline BENCH_results.json")
 	current := flag.String("current", "BENCH_results.json", "freshly generated results")
 	threshold := flag.Float64("threshold", 0.10, "allowed fractional ns/op regression")
+	printRegex := flag.Bool("print-gated-regex", false, "print the gated benchmark -bench regex and exit")
 	flag.Parse()
+	if *printRegex {
+		fmt.Println(gatedBenchRegex)
+		return
+	}
 	if *baseline == "" {
 		fmt.Fprintln(os.Stderr, "benchgate: -baseline is required")
 		os.Exit(2)

@@ -13,6 +13,14 @@
 //	prismsim -exp policies -policy headonly   # one policy variant only
 //	prismsim -exp cluster -hosts 16 -containers 1000   # datacenter run
 //	prismsim -exp cluster -listen :8080    # + live operator surface
+//	prismsim -scenario scenarios/incast.yaml   # declarative scenario file
+//
+// -scenario runs a declarative scenario file (YAML subset or JSON, see
+// scenarios/ and internal/scenario) instead of -exp: the file picks the
+// topology, traffic mix, fault timeline and SLO assertions, and the run
+// exits non-zero when an assertion fails (1) or the file is malformed
+// (2, with a path-qualified error). -parallel still applies; every other
+// tuning flag comes from the file.
 //
 // -parallel N runs multi-point experiments (fig9, fig10, fig11, scaling,
 // and the sweeps) with up to N parameter points in flight, each on its own
@@ -48,6 +56,7 @@ import (
 	"prism/internal/experiments"
 	"prism/internal/live"
 	"prism/internal/obs"
+	"prism/internal/scenario"
 	"prism/internal/sim"
 	"prism/internal/stats"
 )
@@ -201,11 +210,22 @@ func main() {
 		metricsOut = flag.String("metrics-out", "", "write the stages experiment's metrics here (.json = JSON snapshot, otherwise Prometheus text)")
 		traceOut   = flag.String("trace-out", "", "write the stages experiment's span streams here as Chrome trace-event JSON")
 
+		scenarioFile = flag.String("scenario", "", "run a declarative scenario file (YAML/JSON, see scenarios/) instead of -exp")
+
 		listen     = flag.String("listen", "", "serve the live operator surface (/metrics, /capture, /trace, /status) on this address while experiments run, e.g. :8080")
 		checkpoint = flag.Duration("checkpoint", time.Duration(live.DefaultInterval), "live surface snapshot cadence (virtual time)")
 		linger     = flag.Duration("linger", 0, "keep the live surface serving snapshots this long (real time) after the runs complete")
 	)
 	flag.Parse()
+
+	if *scenarioFile != "" {
+		if flagWasSet("exp") {
+			fmt.Fprintln(os.Stderr, "prismsim: -scenario and -exp are mutually exclusive (the scenario file names its experiment or topology)")
+			os.Exit(2)
+		}
+		runScenario(*scenarioFile, *parallel)
+		return
+	}
 
 	// Export flags imply the instrumented experiment.
 	if (*metricsOut != "" || *traceOut != "") && *exp == "all" {
@@ -271,6 +291,47 @@ func main() {
 			time.Sleep(*linger)
 		}
 		lv.Close()
+	}
+}
+
+// flagWasSet reports whether the user passed the named flag explicitly.
+func flagWasSet(name string) bool {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
+}
+
+// runScenario loads, compiles and executes a scenario file. Malformed
+// files exit 2 with the decoder's path-qualified error; a run whose SLO
+// assertions fail exits 1 after printing the measured values.
+func runScenario(path string, parallel int) {
+	s, err := scenario.Load(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "prismsim:", err)
+		os.Exit(2)
+	}
+	plan, err := scenario.Compile(s)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "prismsim: %s: %v\n", path, err)
+		os.Exit(2)
+	}
+	// The file's workers field is the default; an explicit -parallel wins.
+	if flagWasSet("parallel") {
+		plan.Params.Workers = parallel
+	}
+	res, err := plan.Run()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "prismsim: %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	fmt.Print(res.String())
+	if !res.Passed() {
+		fmt.Fprintf(os.Stderr, "prismsim: %s: SLO assertions failed\n", path)
+		os.Exit(1)
 	}
 }
 

@@ -134,7 +134,7 @@ func clusterPoint(p Params, cc ClusterConfig, pol cluster.Placement) (ClusterRow
 		Hosts:     cc.Hosts,
 		Placement: pol,
 		Seed:      p.Seed,
-		Host:      baseSpec(p, prio.ModeSync),
+		Host:      BaseSpec(p, prio.ModeSync),
 		Specs:     clusterSpecs(p, cc.Hosts, cc.Containers),
 		// Slightly below the busiest hosts' offered ingress, so the
 		// bucket visibly shaves best-effort bursts while the reserve

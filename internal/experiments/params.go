@@ -145,10 +145,13 @@ func WithShed() RigOption {
 	return func(s *testbed.Spec) { s.Shed = true }
 }
 
-// baseSpec is the standard experiment testbed for a mode: the paper's
+// BaseSpec is the standard experiment testbed for a mode: the paper's
 // server machine with C1-pinned cores and a ConnectX-5-like NIC (adaptive
-// interrupt moderation, GRO on).
-func baseSpec(p Params, mode prio.Mode) testbed.Spec {
+// interrupt moderation, GRO on). It is the compilation target the
+// declarative scenario layer (internal/scenario) shares with the Go
+// harnesses, so a scenario file and the figure code build byte-identical
+// testbeds.
+func BaseSpec(p Params, mode prio.Mode) testbed.Spec {
 	return testbed.Spec{
 		Seed:       p.Seed,
 		Mode:       mode,
@@ -167,7 +170,7 @@ func baseSpec(p Params, mode prio.Mode) testbed.Spec {
 // NewTestbed declaratively builds any experiment topology — Monolithic,
 // WireSplit or RSSSplit — from the shared Params.
 func NewTestbed(p Params, mode prio.Mode, split testbed.Split, opts ...RigOption) *testbed.Testbed {
-	spec := baseSpec(p, mode)
+	spec := BaseSpec(p, mode)
 	spec.Split = split
 	for _, opt := range opts {
 		opt(&spec)

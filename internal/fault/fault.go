@@ -60,8 +60,25 @@ const (
 	pSoftirqStall = 0.05  // per net_rx_action run
 )
 
+// Phase is one window of a fault timeline: Classes fire at Rate from
+// From until Until (Until 0 = until the run's horizon). Outside every
+// phase the plane is quiescent — hooks return the no-fault answer without
+// drawing from the RNG, so a windowed plane's pre-window datapath is
+// bit-identical to an unfaulted one.
+type Phase struct {
+	From  sim.Time
+	Until sim.Time
+	// Rate is the window's fault intensity in [0, 1].
+	Rate float64
+	// Classes selects which fault classes the window enables; zero means
+	// ClassAll. When windows overlap, the first phase (in Config order)
+	// enabling a class wins for that class.
+	Classes Class
+}
+
 // Config parameterizes the plane. The zero value of every knob gets a
-// sensible default from NewPlane; only Seed and Rate are required.
+// sensible default from NewPlane; only Seed and Rate (or Phases) are
+// required.
 type Config struct {
 	// Seed drives the plane's private RNG stream (distinct from the
 	// engine's even for the same value).
@@ -74,6 +91,11 @@ type Config struct {
 	Rate float64
 	// Classes selects which fault classes fire; zero means ClassAll.
 	Classes Class
+	// Phases, when non-empty, replaces Rate/Classes with a windowed fault
+	// timeline: each phase injects its own class set at its own rate
+	// inside [From, Until). Rate and Classes above are ignored while
+	// Phases is set.
+	Phases []Phase
 
 	// CorruptBits is how many random bits flip per corrupted frame.
 	CorruptBits int
@@ -201,6 +223,11 @@ func NewPlane(eng *sim.Engine, cfg Config) *Plane {
 	if cfg.WatchdogInterval == 0 {
 		cfg.WatchdogInterval = 2 * sim.Millisecond
 	}
+	for i := range cfg.Phases {
+		if cfg.Phases[i].Classes == 0 {
+			cfg.Phases[i].Classes = ClassAll
+		}
+	}
 	return &Plane{cfg: cfg, eng: eng, rng: sim.NewRNG(cfg.Seed ^ 0xfa017fa017)}
 }
 
@@ -241,9 +268,44 @@ func (p *Plane) WatchConsumer(c Consumer) {
 	p.consumers = append(p.consumers, c)
 }
 
-// active reports whether per-event hooks of class c should draw at all.
-func (p *Plane) active(c Class) bool {
-	return p != nil && p.cfg.Rate > 0 && p.cfg.Classes&c != 0
+// injecting reports whether the plane can inject at any point of the run
+// — the cheap guard per-event hooks check before touching the clock.
+func (p *Plane) injecting() bool {
+	if p == nil {
+		return false
+	}
+	if len(p.cfg.Phases) == 0 {
+		return p.cfg.Rate > 0
+	}
+	for _, ph := range p.cfg.Phases {
+		if ph.Rate > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// rateFor returns class c's fault intensity at time now: the flat
+// Rate/Classes configuration, or — with Phases set — the first window
+// containing now that enables c. Zero means the hook must return the
+// no-fault answer without drawing from the RNG.
+func (p *Plane) rateFor(now sim.Time, c Class) float64 {
+	if len(p.cfg.Phases) == 0 {
+		if p.cfg.Classes&c == 0 {
+			return 0
+		}
+		return p.cfg.Rate
+	}
+	for _, ph := range p.cfg.Phases {
+		if now < ph.From || (ph.Until > 0 && now >= ph.Until) {
+			continue
+		}
+		if ph.Classes&c == 0 {
+			continue
+		}
+		return ph.Rate
+	}
+	return 0
 }
 
 // injected exports one injected-fault event through obs.
@@ -269,17 +331,17 @@ func (p *Plane) dropped(dev, reason string) {
 // A delayed frame must be copied by the caller: the returned slice is only
 // valid until the hook runs again.
 func (p *Plane) WireRx(now sim.Time, frame []byte) (out []byte, drop bool, delay sim.Time) {
-	if p == nil || p.cfg.Rate <= 0 {
+	if !p.injecting() {
 		return frame, false, 0
 	}
 	p.WireFrames++
-	if p.cfg.Classes&ClassLink != 0 {
+	if lr := p.rateFor(now, ClassLink); lr > 0 {
 		if now < p.linkDownUntil {
 			p.LinkDropped++
 			p.dropped("wire", "linkflap")
 			return nil, true, 0
 		}
-		if p.rng.Float64() < pFlapStart*p.cfg.Rate {
+		if p.rng.Float64() < pFlapStart*lr {
 			p.linkDownUntil = now + p.cfg.FlapDuration
 			p.LinkFlaps++
 			p.LinkDropped++
@@ -287,14 +349,14 @@ func (p *Plane) WireRx(now sim.Time, frame []byte) (out []byte, drop bool, delay
 			p.dropped("wire", "linkflap")
 			return nil, true, 0
 		}
-		if p.rng.Float64() < pJitter*p.cfg.Rate {
+		if p.rng.Float64() < pJitter*lr {
 			delay = sim.Time(p.rng.Uint64()%uint64(p.cfg.JitterMax)) + 1
 			p.Jittered++
 			p.injected("jitter")
 		}
 	}
 	out = frame
-	if p.cfg.Classes&ClassCorrupt != 0 && p.rng.Float64() < pCorrupt*p.cfg.Rate {
+	if cr := p.rateFor(now, ClassCorrupt); cr > 0 && p.rng.Float64() < pCorrupt*cr {
 		out = p.corrupt(frame)
 		p.Corrupted++
 		p.injected("corrupt")
@@ -324,7 +386,11 @@ func (p *Plane) corrupt(frame []byte) []byte {
 // rejected the frame before a descriptor was posted (no SKB exists; the
 // plane accounts the drop). Overruns arrive in bursts.
 func (p *Plane) RingOverrun(now sim.Time, dev string) bool {
-	if !p.active(ClassRing) {
+	if p == nil {
+		return false
+	}
+	rate := p.rateFor(now, ClassRing)
+	if rate <= 0 {
 		return false
 	}
 	if p.overrunLeft > 0 {
@@ -333,7 +399,7 @@ func (p *Plane) RingOverrun(now sim.Time, dev string) bool {
 		p.dropped(dev, "overrun")
 		return true
 	}
-	if p.rng.Float64() < pOverrunStart*p.cfg.Rate {
+	if p.rng.Float64() < pOverrunStart*rate {
 		p.OverrunBursts++
 		p.overrunLeft = p.cfg.OverrunBurst - 1
 		p.OverrunDropped++
@@ -349,10 +415,14 @@ func (p *Plane) RingOverrun(now sim.Time, dev string) bool {
 // arrival re-raises — or, with no follow-up traffic, until the watchdog
 // notices the stuck device.
 func (p *Plane) DropIRQ(now sim.Time, dev string) bool {
-	if !p.active(ClassRing) {
+	if p == nil {
 		return false
 	}
-	if p.rng.Float64() < pIRQLoss*p.cfg.Rate {
+	rate := p.rateFor(now, ClassRing)
+	if rate <= 0 {
+		return false
+	}
+	if p.rng.Float64() < pIRQLoss*rate {
 		p.IRQsLost++
 		p.injected("irqloss")
 		return true
@@ -364,10 +434,14 @@ func (p *Plane) DropIRQ(now sim.Time, dev string) bool {
 // CPU charged to the processing core before the poll loop starts, modeling
 // ksoftirqd being preempted with the whole backlog waiting behind it.
 func (p *Plane) SoftirqStall(now sim.Time) sim.Time {
-	if !p.active(ClassSoftirq) {
+	if p == nil {
 		return 0
 	}
-	if p.rng.Float64() < pSoftirqStall*p.cfg.Rate {
+	rate := p.rateFor(now, ClassSoftirq)
+	if rate <= 0 {
+		return 0
+	}
+	if p.rng.Float64() < pSoftirqStall*rate {
 		p.SoftirqStalls++
 		p.injected("softirqstall")
 		return p.cfg.SoftirqStallDuration

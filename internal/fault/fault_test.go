@@ -142,6 +142,96 @@ func TestClassGating(t *testing.T) {
 	}
 }
 
+// TestPhaseWindowConfinesInjection: with Phases configured, per-event
+// hooks inject only inside their window and pass through (no RNG draws,
+// so no divergence) everywhere else.
+func TestPhaseWindowConfinesInjection(t *testing.T) {
+	eng := sim.NewEngine(1)
+	from, until := 10*sim.Millisecond, 20*sim.Millisecond
+	p := NewPlane(eng, Config{Seed: 9, Phases: []Phase{{From: from, Until: until, Rate: 1}}})
+	frame := bytes.Repeat([]byte{0x33}, 64)
+	insideFired, outsideFired := false, false
+	for i := 0; i < 30000; i++ {
+		now := sim.Time(i) * sim.Microsecond
+		out, drop, delay := p.WireRx(now, frame)
+		over := p.RingOverrun(now, "eth0")
+		irq := p.DropIRQ(now, "eth0")
+		stall := p.SoftirqStall(now)
+		fired := drop || delay != 0 || !bytes.Equal(out, frame) || over || irq || stall != 0
+		switch {
+		case now >= from && now < until:
+			insideFired = insideFired || fired
+		case fired:
+			outsideFired = true
+		}
+	}
+	if !insideFired {
+		t.Error("rate-1 phase never injected inside its window")
+	}
+	if outsideFired {
+		t.Error("phase plane injected outside its window")
+	}
+}
+
+// TestPhasePreWindowMatchesUnfaulted: before the first phase opens, a
+// windowed plane's hook answers are bit-identical to a nil plane's — the
+// quiescent stretches draw nothing from the RNG.
+func TestPhasePreWindowMatchesUnfaulted(t *testing.T) {
+	eng := sim.NewEngine(1)
+	p := NewPlane(eng, Config{Seed: 4, Phases: []Phase{{From: 50 * sim.Millisecond, Rate: 1}}})
+	frame := []byte{7, 7, 7, 7}
+	for i := 0; i < 5000; i++ {
+		now := sim.Time(i) * sim.Microsecond // all < From
+		out, drop, delay := p.WireRx(now, frame)
+		if &out[0] != &frame[0] || drop || delay != 0 {
+			t.Fatal("pre-window WireRx diverged from pass-through")
+		}
+		if p.RingOverrun(now, "eth0") || p.DropIRQ(now, "eth0") || p.SoftirqStall(now) != 0 {
+			t.Fatal("pre-window hook injected")
+		}
+	}
+	c := p.Stats()
+	if c.Corrupted != 0 || c.LinkFlaps != 0 || c.OverrunDropped != 0 || c.IRQsLost != 0 || c.SoftirqStalls != 0 {
+		t.Errorf("pre-window counters moved: %+v", c)
+	}
+}
+
+// TestPhaseClassesAndTimeline: phase Classes gate per-event hooks the
+// same way flat Classes do, and timeline chains (spurious IRQs) arm only
+// inside their phase's window.
+func TestPhaseClassesAndTimeline(t *testing.T) {
+	eng := sim.NewEngine(1)
+	p := NewPlane(eng, Config{
+		Seed:          2,
+		SpuriousEvery: 100 * sim.Microsecond,
+		Phases: []Phase{
+			{From: 5 * sim.Millisecond, Until: 15 * sim.Millisecond, Rate: 1, Classes: ClassRing},
+		},
+	})
+	dev := &stubDevice{name: "eth0"}
+	p.Watch(dev)
+	p.Start(40 * sim.Millisecond)
+
+	// ClassRing only: the wire hook must stay silent even mid-window.
+	frame := []byte{1, 2, 3, 4}
+	out, drop, delay := p.WireRx(10*sim.Millisecond, frame)
+	if drop || delay != 0 || !bytes.Equal(out, frame) {
+		t.Error("ClassRing phase fired a wire fault")
+	}
+	if err := eng.Run(40 * sim.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if dev.spurios == 0 {
+		t.Error("phase never raised a spurious IRQ inside its window")
+	}
+	if err := eng.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	if eng.Pending() != 0 {
+		t.Errorf("%d events pending after horizon", eng.Pending())
+	}
+}
+
 type stubDevice struct {
 	name    string
 	stuck   bool

@@ -13,59 +13,88 @@ import "prism/internal/sim"
 // horizon. It is idempotent per plane (the chains are armed once) and
 // nil-safe. The watchdog runs even at Rate 0 if devices are registered —
 // it is hardening, not injection — but a zero-rate plane schedules no
-// fault events.
+// fault events. With Phases configured, each window arms its own chains
+// clamped to the window, so timeline faults respect start/stop times the
+// same way the per-event hooks do.
 func (p *Plane) Start(until sim.Time) {
 	if p == nil || p.started {
 		return
 	}
 	p.started = true
 	p.until = until
-	if p.cfg.Rate > 0 {
-		if p.cfg.Classes&ClassRing != 0 {
-			for _, d := range p.devices {
-				p.armSpurious(d)
+	if len(p.cfg.Phases) > 0 {
+		now := p.eng.Now()
+		for _, ph := range p.cfg.Phases {
+			if ph.Rate <= 0 {
+				continue
 			}
-		}
-		if p.cfg.Classes&ClassConsumer != 0 {
-			for _, c := range p.consumers {
-				p.armStall(c)
+			from := ph.From
+			if from < now {
+				from = now
 			}
+			end := until
+			if ph.Until > 0 && ph.Until < end {
+				end = ph.Until
+			}
+			if from >= end {
+				continue
+			}
+			p.armPhase(ph.Classes, from, end, ph.Rate)
 		}
+	} else if p.cfg.Rate > 0 {
+		p.armPhase(p.cfg.Classes, p.eng.Now(), until, p.cfg.Rate)
 	}
 	if len(p.devices) > 0 && p.cfg.WatchdogInterval > 0 {
 		p.armWatchdog(p.eng.Now() + p.cfg.WatchdogInterval)
 	}
 }
 
-// armSpurious schedules the next spurious interrupt for d. Gaps are
-// exponential with mean SpuriousEvery/Rate, so the event frequency scales
-// with the master rate like the per-event probabilities do.
-func (p *Plane) armSpurious(d Device) {
-	gap := p.rng.ExpDuration(sim.Time(float64(p.cfg.SpuriousEvery) / p.cfg.Rate))
-	at := p.eng.Now() + gap + 1
-	if at >= p.until {
+// armPhase arms one window's timeline chains: a spurious-IRQ chain per
+// device and a stall chain per consumer, each confined to [base, end).
+func (p *Plane) armPhase(classes Class, base, end sim.Time, rate float64) {
+	if classes&ClassRing != 0 {
+		for _, d := range p.devices {
+			p.armSpurious(d, base, end, rate)
+		}
+	}
+	if classes&ClassConsumer != 0 {
+		for _, c := range p.consumers {
+			p.armStall(c, base, end, rate)
+		}
+	}
+}
+
+// armSpurious schedules the next spurious interrupt for d after base,
+// stopping at end. Gaps are exponential with mean SpuriousEvery/rate, so
+// the event frequency scales with the window's rate like the per-event
+// probabilities do.
+func (p *Plane) armSpurious(d Device, base, end sim.Time, rate float64) {
+	gap := p.rng.ExpDuration(sim.Time(float64(p.cfg.SpuriousEvery) / rate))
+	at := base + gap + 1
+	if at >= end {
 		return
 	}
 	p.eng.At(at, func() {
 		p.IRQsSpurious++
 		p.injected("spuriousirq")
 		d.SpuriousIRQ(at)
-		p.armSpurious(d)
+		p.armSpurious(d, at, end, rate)
 	})
 }
 
-// armStall schedules the next consumer stall for c.
-func (p *Plane) armStall(c Consumer) {
-	gap := p.rng.ExpDuration(sim.Time(float64(p.cfg.StallEvery) / p.cfg.Rate))
-	at := p.eng.Now() + gap + 1
-	if at >= p.until {
+// armStall schedules the next consumer stall for c after base, stopping
+// at end.
+func (p *Plane) armStall(c Consumer, base, end sim.Time, rate float64) {
+	gap := p.rng.ExpDuration(sim.Time(float64(p.cfg.StallEvery) / rate))
+	at := base + gap + 1
+	if at >= end {
 		return
 	}
 	p.eng.At(at, func() {
 		p.ConsumerStalls++
 		p.injected("consumerstall")
 		c.Stall(at, p.cfg.StallDuration)
-		p.armStall(c)
+		p.armStall(c, at, end, rate)
 	})
 }
 

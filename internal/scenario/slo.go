@@ -1,0 +1,73 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// SLO is one declarative assertion over the run's metrics, written as
+// `metric op value` (e.g. `hi_p99_us <= 500`). Every metric a run
+// produces is fair game; an assertion naming an unknown metric fails the
+// run with the valid names listed.
+type SLO struct {
+	Metric string
+	Op     string
+	Value  float64
+	// Raw is the assertion as written, for rendering.
+	Raw string
+}
+
+var sloOps = map[string]func(a, b float64) bool{
+	"<=": func(a, b float64) bool { return a <= b },
+	">=": func(a, b float64) bool { return a >= b },
+	"<":  func(a, b float64) bool { return a < b },
+	">":  func(a, b float64) bool { return a > b },
+	"==": func(a, b float64) bool { return a == b },
+	"!=": func(a, b float64) bool { return a != b },
+}
+
+func parseSLO(path, raw string) (SLO, error) {
+	fields := strings.Fields(raw)
+	if len(fields) != 3 {
+		return SLO{}, fmt.Errorf("%s: want `metric op value`, got %q", path, raw)
+	}
+	s := SLO{Metric: fields[0], Op: fields[1], Value: 0, Raw: raw}
+	if _, ok := sloOps[s.Op]; !ok {
+		ops := make([]string, 0, len(sloOps))
+		for op := range sloOps {
+			ops = append(ops, op)
+		}
+		sort.Strings(ops)
+		return SLO{}, fmt.Errorf("%s: unknown operator %q (valid: %s)",
+			path, s.Op, strings.Join(ops, ", "))
+	}
+	v, err := parseFloatScalar(path, fields[2])
+	if err != nil {
+		return SLO{}, err
+	}
+	s.Value = v
+	return s, nil
+}
+
+// SLOResult is one evaluated assertion.
+type SLOResult struct {
+	Expr     string
+	Measured float64
+	Pass     bool
+}
+
+// Eval checks the assertion against the run's metrics.
+func (s SLO) Eval(metrics map[string]float64) (SLOResult, error) {
+	v, ok := metrics[s.Metric]
+	if !ok {
+		names := make([]string, 0, len(metrics))
+		for n := range metrics {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		return SLOResult{}, fmt.Errorf("slo %q: unknown metric %q (this run produced: %s)",
+			s.Raw, s.Metric, strings.Join(names, ", "))
+	}
+	return SLOResult{Expr: s.Raw, Measured: v, Pass: sloOps[s.Op](v, s.Value)}, nil
+}

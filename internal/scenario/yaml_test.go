@@ -1,0 +1,110 @@
+package scenario
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func parseYAML(t *testing.T, doc string) any {
+	t.Helper()
+	v, err := parseTree([]byte(doc))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return v
+}
+
+func TestYAMLBlockStructures(t *testing.T) {
+	doc := `
+# full-line comment
+scenario: v1
+name: demo
+nested:
+  a: 1
+  b: two words  # trailing comment
+  deep:
+    c: "quoted # not a comment"
+list:
+  - plain
+  - "quoted"
+inline:
+  - key: v1
+    extra: 5
+  - key: v2
+flow: [1, 2.5, three]
+`
+	got := parseYAML(t, doc)
+	want := map[string]any{
+		"scenario": "v1",
+		"name":     "demo",
+		"nested": map[string]any{
+			"a": "1",
+			"b": "two words",
+			"deep": map[string]any{
+				"c": "quoted # not a comment",
+			},
+		},
+		"list": []any{"plain", "quoted"},
+		"inline": []any{
+			map[string]any{"key": "v1", "extra": "5"},
+			map[string]any{"key": "v2"},
+		},
+		"flow": []any{"1", "2.5", "three"},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("tree mismatch\ngot:  %#v\nwant: %#v", got, want)
+	}
+}
+
+func TestJSONInputNormalizes(t *testing.T) {
+	doc := `{"scenario": "v1", "seed": 7, "flag": true, "list": [1, 2.5], "nested": {"x": null}}`
+	got := parseYAML(t, doc)
+	want := map[string]any{
+		"scenario": "v1",
+		"seed":     "7",
+		"flag":     "true",
+		"list":     []any{"1", "2.5"},
+		"nested":   map[string]any{"x": ""},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("tree mismatch\ngot:  %#v\nwant: %#v", got, want)
+	}
+}
+
+func TestYAMLLexicalErrors(t *testing.T) {
+	cases := []struct {
+		name, doc, wantErr string
+	}{
+		{"tab indent", "a: 1\n\tb: 2\n", "tab in indentation"},
+		{"duplicate key", "a: 1\na: 2\n", "duplicate key"},
+		{"empty value", "a:\nb: 2\n", "has no value"},
+		{"bad indent", "a: 1\n    b: 2\n", "unexpected indentation"},
+		{"list in map", "a: 1\n- b\n", "list item in a mapping block"},
+		{"bare brace", "a: {inline: map}\n", "must be double-quoted"},
+		{"unterminated flow", "a: [1, 2\n", "unterminated flow list"},
+		{"empty flow element", "a: [1, , 2]\n", "empty element"},
+		{"bad quoted", `a: "unclosed` + "\n", "bad quoted string"},
+		{"not a key", "just words\n", "expected `key: value`"},
+		{"empty doc", "# only a comment\n", "empty document"},
+		{"json trailing", `{"scenario": "v1"} {"x": 1}`, "trailing data"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := parseTree([]byte(tc.doc))
+			if err == nil {
+				t.Fatalf("no error for %q", tc.doc)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestYAMLLineNumbersInErrors(t *testing.T) {
+	_, err := parseTree([]byte("a: 1\nb: 2\n\tc: d\n"))
+	if err == nil || !strings.Contains(err.Error(), "line 3") {
+		t.Errorf("want line 3 in error, got %v", err)
+	}
+}
