@@ -312,6 +312,92 @@ func benchName(prefix string, v int) string {
 	return prefix + "-" + string(buf[i:])
 }
 
+// ---------------------------------------------------------------------------
+// BenchmarkEventQueue measures the engine's event queue — the hierarchical
+// timing wheel — in isolation, one dispatched event per op. The three
+// workloads bracket what the datapath generates: churn is the softirq
+// steady state (a few hundred outstanding events, microsecond-scale
+// delays), cancel-rearm is the kernel-timer pattern (most timers cancelled
+// and re-armed before firing), and cascade-far forces events through the
+// coarse wheels and the overflow level. Gated by cmd/benchgate alongside
+// the datapath benchmarks; pkts_per_sec here means events per second.
+
+// eqChurn re-arms itself with an exponential delay on every dispatch,
+// keeping a fixed population of outstanding events. eqChurnFire is the
+// allocation-free CallAt trampoline.
+type eqChurn struct {
+	eng  *sim.Engine
+	mean sim.Time
+}
+
+func eqChurnFire(now sim.Time, a1, _ any) {
+	c := a1.(*eqChurn)
+	c.eng.CallAt(now+c.eng.RNG().ExpDuration(c.mean), eqChurnFire, a1, nil)
+}
+
+func BenchmarkEventQueue(b *testing.B) {
+	b.Run("churn-256", func(b *testing.B) {
+		eng := sim.NewEngine(7)
+		c := &eqChurn{eng: eng, mean: sim.Microsecond}
+		for i := 0; i < 256; i++ {
+			eng.CallAt(eng.RNG().ExpDuration(c.mean), eqChurnFire, c, nil)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			eng.Step()
+		}
+		b.StopTimer()
+		record(b, 1, nil)
+	})
+
+	b.Run("cancel-rearm", func(b *testing.B) {
+		eng := sim.NewEngine(7)
+		const armed = 256
+		handles := make([]*sim.Event, armed)
+		nop := func() {}
+		arm := func(i int) {
+			handles[i] = eng.At(eng.Now()+10*sim.Microsecond+sim.Time(eng.RNG().Intn(4096)), nop)
+		}
+		for i := range handles {
+			arm(i)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			j := eng.RNG().Intn(armed)
+			eng.Cancel(handles[j])
+			arm(j)
+			if i&1 == 0 {
+				eng.Step()
+			}
+		}
+		b.StopTimer()
+		record(b, 1, nil)
+	})
+
+	b.Run("cascade-far", func(b *testing.B) {
+		eng := sim.NewEngine(7)
+		c := &eqChurn{eng: eng, mean: 4 * sim.Millisecond}
+		for i := 0; i < 256; i++ {
+			eng.CallAt(eng.RNG().ExpDuration(c.mean), eqChurnFire, c, nil)
+		}
+		// A sparse population of far-future events keeps the coarse
+		// wheels and the overflow level populated across the run.
+		far := &eqChurn{eng: eng, mean: 300 * sim.Second}
+		for i := 0; i < 16; i++ {
+			eng.CallAt(eng.RNG().ExpDuration(far.mean), eqChurnFire, far, nil)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			eng.Step()
+		}
+		b.StopTimer()
+		record(b, 1, nil)
+	})
+}
+
 // BenchmarkExtDriver evaluates the §VII-1 extension: driver-level priority
 // rings, which remove the stage-1 FIFO limitation.
 func BenchmarkExtDriver(b *testing.B) {

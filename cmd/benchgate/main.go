@@ -25,9 +25,10 @@ import (
 )
 
 // gatedBenchRegex selects the regression-gated benchmarks: the pooled
-// softirq hot path, the burst ablation, and the cluster sweep. This is
-// the single source of truth — the CI bench job runs exactly this set.
-const gatedBenchRegex = "BenchmarkSoftirqPoll|BenchmarkAblationBurst|BenchmarkClusterSweep"
+// softirq hot path, the burst ablation, the cluster sweep, and the event
+// queue microbenchmarks guarding the timing wheel. This is the single
+// source of truth — the CI bench job runs exactly this set.
+const gatedBenchRegex = "BenchmarkSoftirqPoll|BenchmarkAblationBurst|BenchmarkClusterSweep|BenchmarkEventQueue"
 
 type record struct {
 	Name    string  `json:"name"`

@@ -31,7 +31,11 @@ type Bridge struct {
 
 	costs *netdev.Costs
 	aging sim.Time
-	fdb   map[pkt.MAC]fdbEntry
+	// fdb is keyed by the MAC packed into a uint64 (pkt.MAC.Key): integer
+	// keys take the runtime's fast fixed-size map path, where a [6]byte
+	// key would go through the generic variable-length hasher on every
+	// frame.
+	fdb   map[uint64]fdbEntry
 	ports []*netdev.Device
 
 	// nextSweep schedules the amortized garbage collection of expired
@@ -51,7 +55,7 @@ func New(name string, costs *netdev.Costs) *Bridge {
 	b := &Bridge{
 		costs: costs,
 		aging: DefaultAging,
-		fdb:   make(map[pkt.MAC]fdbEntry),
+		fdb:   make(map[uint64]fdbEntry),
 	}
 	b.Dev = netdev.NewDevice(name, netdev.DriverGroCells, netdev.HandlerFunc(b.handle), QueueCap)
 	return b
@@ -63,17 +67,17 @@ func (b *Bridge) AddPort(dev *netdev.Device) { b.ports = append(b.ports, dev) }
 // LearnStatic installs a permanent FDB entry; used by topologies that
 // don't want to rely on flooding for the first frame.
 func (b *Bridge) LearnStatic(mac pkt.MAC, port *netdev.Device) {
-	b.fdb[mac] = fdbEntry{port: port, seen: -1}
+	b.fdb[mac.Key()] = fdbEntry{port: port, seen: -1}
 }
 
 // Lookup returns the port a MAC maps to, honouring aging, or nil.
 func (b *Bridge) Lookup(now sim.Time, mac pkt.MAC) *netdev.Device {
-	e, ok := b.fdb[mac]
+	e, ok := b.fdb[mac.Key()]
 	if !ok {
 		return nil
 	}
 	if e.seen >= 0 && now-e.seen > b.aging {
-		delete(b.fdb, mac)
+		delete(b.fdb, mac.Key())
 		return nil
 	}
 	return e.port
@@ -109,9 +113,9 @@ func (b *Bridge) handle(now sim.Time, skb *pkt.SKB) netdev.Result {
 	// the ingress port; frames reaching this bridge arrive via the VXLAN
 	// tunnel, whose remote MACs the control plane installs — Docker's
 	// overlay driver populates the FDB statically the same way.)
-	if e, ok := b.fdb[eth.Src]; ok && e.seen >= 0 {
+	if e, ok := b.fdb[eth.Src.Key()]; ok && e.seen >= 0 {
 		e.seen = now
-		b.fdb[eth.Src] = e
+		b.fdb[eth.Src.Key()] = e
 	}
 	if eth.Dst.IsBroadcast() {
 		b.Flooded++

@@ -81,7 +81,7 @@ func TestFDBAging(t *testing.T) {
 	b := New("br0", netdev.DefaultCosts())
 	vA := dummyDev("vethA")
 	// Dynamic entry: seen timestamp set.
-	b.fdb[macA] = fdbEntry{port: vA, seen: 0}
+	b.fdb[macA.Key()] = fdbEntry{port: vA, seen: 0}
 	if b.Lookup(DefaultAging/2, macA) != vA {
 		t.Error("entry aged too early")
 	}
@@ -105,7 +105,7 @@ func TestExpiredEntrySweptAndFloods(t *testing.T) {
 	b.AddPort(vA)
 	b.AddPort(vB)
 	b.LearnStatic(macB, vB)
-	b.fdb[macA] = fdbEntry{port: vA, seen: 0}
+	b.fdb[macA.Key()] = fdbEntry{port: vA, seen: 0}
 
 	// Before aging, A's entry forwards.
 	if res := b.handle(sim.Second, &pkt.SKB{Data: frameTo(macA, macB)}); res.Verdict != netdev.VerdictForward {
@@ -136,7 +136,7 @@ func TestDynamicRefreshOnTraffic(t *testing.T) {
 	vA := dummyDev("vethA")
 	vB := dummyDev("vethB")
 	b.LearnStatic(macA, vA)
-	b.fdb[macB] = fdbEntry{port: vB, seen: 0}
+	b.fdb[macB.Key()] = fdbEntry{port: vB, seen: 0}
 
 	// Traffic from B to A at time close to aging refreshes B's entry.
 	at := DefaultAging - sim.Second

@@ -2,7 +2,7 @@ package par
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"sync"
 	"sync/atomic"
 
@@ -131,20 +131,33 @@ func (g *Group) nextTime() (sim.Time, bool) {
 	return best, found
 }
 
+// deliverMessage is the top-level trampoline injected messages dispatch
+// through: a1 is the *Link, a2 the payload. Scheduling it via CallAt reuses
+// a pooled event record — no capturing closure, no allocation per message.
+func deliverMessage(at sim.Time, a1, a2 any) { a1.(*Link).deliver(at, a2) }
+
 // inject moves every inbox message due before end into its destination
 // engine. Inboxes are sorted by (at, src, seq), so the engines' FIFO
-// tie-breaking observes a deterministic arrival order.
+// tie-breaking observes a deterministic arrival order; that same order
+// means each shard's messages arrive at nondecreasing timestamps, so the
+// whole window is scheduled through one batch cursor — a single wheel
+// insert run instead of one full queue push per message.
 func (g *Group) inject(end sim.Time) {
 	for _, s := range g.shards {
 		i := 0
+		b := s.Eng.BeginBatch()
 		for i < len(s.inbox) && s.inbox[i].at < end {
-			m := s.inbox[i]
-			fn, at, pl := m.link.deliver, m.at, m.payload
-			s.Eng.At(at, func() { fn(at, pl) })
+			m := &s.inbox[i]
+			b.CallAt(m.at, deliverMessage, m.link, m.payload)
 			i++
 		}
 		if i > 0 {
-			s.inbox = append(s.inbox[:0], s.inbox[i:]...)
+			// Compact in place, then clear the vacated tail: the stale
+			// entries beyond the new length still hold payload interfaces,
+			// and leaving them pins delivered SKBs/frames across windows.
+			n := copy(s.inbox, s.inbox[i:])
+			clear(s.inbox[n:len(s.inbox)])
+			s.inbox = s.inbox[:n]
 		}
 	}
 }
@@ -200,16 +213,29 @@ func (g *Group) collect() {
 	}
 	for _, s := range g.shards {
 		if len(s.inbox) > 1 {
-			in := s.inbox
-			sort.Slice(in, func(i, j int) bool {
-				if in[i].at != in[j].at {
-					return in[i].at < in[j].at
-				}
-				if in[i].src != in[j].src {
-					return in[i].src < in[j].src
-				}
-				return in[i].seq < in[j].seq
-			})
+			// (at, src, seq) is a total order — seq is unique per source —
+			// so the unstable sort is deterministic. SortFunc with a
+			// non-capturing comparator keeps the barrier allocation-free,
+			// where sort.Slice boxed the slice and closure every window.
+			slices.SortFunc(s.inbox, compareMessages)
 		}
+	}
+}
+
+// compareMessages orders inbox messages by (at, src, seq).
+func compareMessages(a, b message) int {
+	switch {
+	case a.at < b.at:
+		return -1
+	case a.at > b.at:
+		return 1
+	case a.src != b.src:
+		return a.src - b.src
+	case a.seq < b.seq:
+		return -1
+	case a.seq > b.seq:
+		return 1
+	default:
+		return 0
 	}
 }

@@ -18,6 +18,15 @@ func (m MAC) String() string {
 	return fmt.Sprintf("%02x:%02x:%02x:%02x:%02x:%02x", m[0], m[1], m[2], m[3], m[4], m[5])
 }
 
+// Key packs the address into a uint64 for use as a map key: integer keys
+// take the runtime's fast fixed-size map path, where a [6]byte key goes
+// through the generic hasher. The packing is injective, so two addresses
+// collide iff they are equal.
+func (m MAC) Key() uint64 {
+	return uint64(m[0])<<40 | uint64(m[1])<<32 | uint64(m[2])<<24 |
+		uint64(m[3])<<16 | uint64(m[4])<<8 | uint64(m[5])
+}
+
 // IsBroadcast reports whether m is ff:ff:ff:ff:ff:ff.
 func (m MAC) IsBroadcast() bool {
 	return m == MAC{0xff, 0xff, 0xff, 0xff, 0xff, 0xff}

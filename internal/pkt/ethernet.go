@@ -2,7 +2,7 @@ package pkt
 
 import (
 	"encoding/binary"
-	"fmt"
+	"errors"
 )
 
 // Ethernet and IP constants used across the stack.
@@ -35,14 +35,22 @@ func PutEthernet(b []byte, h EthernetHeader) int {
 	return EthHeaderLen
 }
 
-// ParseEthernet decodes an Ethernet II header from the start of b.
+// errEthernetShort is a static sentinel: the truncated-frame branch must
+// stay cheap enough for ParseEthernet to inline into every stage.
+var errEthernetShort = errors.New("pkt: ethernet frame too short")
+
+// ParseEthernet decodes an Ethernet II header from the start of b. Every
+// stage re-reads the header it needs rather than trusting upstream state
+// (exactly like the kernel), so this is among the hottest functions in the
+// simulator: the success path is small enough to inline, and the array
+// conversions compile to direct loads instead of copies.
 func ParseEthernet(b []byte) (EthernetHeader, error) {
 	if len(b) < EthHeaderLen {
-		return EthernetHeader{}, fmt.Errorf("pkt: ethernet frame too short: %d bytes", len(b))
+		return EthernetHeader{}, errEthernetShort
 	}
-	var h EthernetHeader
-	copy(h.Dst[:], b[0:6])
-	copy(h.Src[:], b[6:12])
-	h.EtherType = binary.BigEndian.Uint16(b[12:14])
-	return h, nil
+	return EthernetHeader{
+		Dst:       MAC(b[0:6]),
+		Src:       MAC(b[6:12]),
+		EtherType: uint16(b[12])<<8 | uint16(b[13]),
+	}, nil
 }

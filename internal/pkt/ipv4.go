@@ -56,30 +56,33 @@ func ParseIPv4(b []byte) (IPv4Header, error) {
 	if ihl := int(b[0]&0x0f) * 4; ihl != IPv4HeaderLen {
 		return IPv4Header{}, fmt.Errorf("pkt: ipv4 unsupported header length %d", ihl)
 	}
-	if ipChecksum(b[:IPv4HeaderLen]) != 0 {
+	if ipChecksum20(b) != 0 {
 		return IPv4Header{}, fmt.Errorf("pkt: ipv4 header checksum mismatch")
 	}
 	var h IPv4Header
 	h.TOS = b[1]
-	h.TotalLen = binary.BigEndian.Uint16(b[2:4])
+	h.TotalLen = uint16(b[2])<<8 | uint16(b[3])
 	if int(h.TotalLen) > len(b) || h.TotalLen < IPv4HeaderLen {
 		return IPv4Header{}, fmt.Errorf("pkt: ipv4 bad total length %d (frame %d)", h.TotalLen, len(b))
 	}
-	h.ID = binary.BigEndian.Uint16(b[4:6])
-	ff := binary.BigEndian.Uint16(b[6:8])
+	h.ID = uint16(b[4])<<8 | uint16(b[5])
+	ff := uint16(b[6])<<8 | uint16(b[7])
 	h.Flags = uint8(ff >> 13)
 	h.FragOff = ff & 0x1fff
 	h.TTL = b[8]
 	h.Protocol = b[9]
-	h.Checksum = binary.BigEndian.Uint16(b[10:12])
-	copy(h.Src[:], b[12:16])
-	copy(h.Dst[:], b[16:20])
+	h.Checksum = uint16(b[10])<<8 | uint16(b[11])
+	h.Src = IPv4(b[12:16])
+	h.Dst = IPv4(b[16:20])
 	return h, nil
 }
 
 // ipChecksum computes the RFC 1071 internet checksum over b. Over a header
 // whose checksum field holds the correct value, the result is zero.
 func ipChecksum(b []byte) uint16 {
+	if len(b) == IPv4HeaderLen {
+		return ipChecksum20(b)
+	}
 	var sum uint32
 	for i := 0; i+1 < len(b); i += 2 {
 		sum += uint32(binary.BigEndian.Uint16(b[i : i+2]))
@@ -91,4 +94,26 @@ func ipChecksum(b []byte) uint16 {
 		sum = sum&0xffff + sum>>16
 	}
 	return ^uint16(sum)
+}
+
+// ipChecksum20 is ipChecksum unrolled for the option-less 20-byte header —
+// the only shape this stack emits, validated on every hop of every packet.
+// b must hold at least IPv4HeaderLen bytes.
+func ipChecksum20(b []byte) uint16 {
+	b = b[:IPv4HeaderLen]
+	var s uint32
+	s += uint32(b[0])<<8 | uint32(b[1])
+	s += uint32(b[2])<<8 | uint32(b[3])
+	s += uint32(b[4])<<8 | uint32(b[5])
+	s += uint32(b[6])<<8 | uint32(b[7])
+	s += uint32(b[8])<<8 | uint32(b[9])
+	s += uint32(b[10])<<8 | uint32(b[11])
+	s += uint32(b[12])<<8 | uint32(b[13])
+	s += uint32(b[14])<<8 | uint32(b[15])
+	s += uint32(b[16])<<8 | uint32(b[17])
+	s += uint32(b[18])<<8 | uint32(b[19])
+	for s > 0xffff {
+		s = s&0xffff + s>>16
+	}
+	return ^uint16(s)
 }

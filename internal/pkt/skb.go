@@ -250,8 +250,9 @@ func IsVXLAN(frame []byte) bool {
 	if len(frame) < EthHeaderLen+IPv4HeaderLen+UDPHeaderLen+VXLANHeaderLen {
 		return false
 	}
-	eth, err := ParseEthernet(frame)
-	if err != nil || eth.EtherType != EtherTypeIPv4 {
+	// EtherType IPv4, protocol UDP, destination port VXLAN — straight byte
+	// compares; this runs once per frame in the stage-1 poll.
+	if uint16(frame[12])<<8|uint16(frame[13]) != EtherTypeIPv4 {
 		return false
 	}
 	if frame[EthHeaderLen+9] != ProtoUDP {

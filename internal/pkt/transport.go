@@ -2,6 +2,7 @@ package pkt
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 )
 
@@ -30,17 +31,25 @@ func PutUDP(b []byte, h UDPHeader) int {
 	return UDPHeaderLen
 }
 
+// Static sentinels keep ParseUDP inlinable into the per-hop flow and
+// payload extraction paths.
+var (
+	errUDPShort     = errors.New("pkt: udp datagram too short")
+	errUDPBadLength = errors.New("pkt: udp bad length")
+)
+
 // ParseUDP decodes a UDP header from the start of b.
 func ParseUDP(b []byte) (UDPHeader, error) {
 	if len(b) < UDPHeaderLen {
-		return UDPHeader{}, fmt.Errorf("pkt: udp datagram too short: %d bytes", len(b))
+		return UDPHeader{}, errUDPShort
 	}
-	var h UDPHeader
-	h.SrcPort = binary.BigEndian.Uint16(b[0:2])
-	h.DstPort = binary.BigEndian.Uint16(b[2:4])
-	h.Length = binary.BigEndian.Uint16(b[4:6])
+	h := UDPHeader{
+		SrcPort: uint16(b[0])<<8 | uint16(b[1]),
+		DstPort: uint16(b[2])<<8 | uint16(b[3]),
+		Length:  uint16(b[4])<<8 | uint16(b[5]),
+	}
 	if int(h.Length) > len(b) || h.Length < UDPHeaderLen {
-		return UDPHeader{}, fmt.Errorf("pkt: udp bad length %d (segment %d)", h.Length, len(b))
+		return UDPHeader{}, errUDPBadLength
 	}
 	return h, nil
 }

@@ -10,6 +10,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"prism/internal/pkt"
 )
@@ -95,30 +96,50 @@ func (r Rule) matchEndpoint(ip pkt.IPv4, port uint16) bool {
 // DB is the global high-priority flow database. It is safe for concurrent
 // use: the simulation reads it from the NIC classification path while
 // control-plane code (prismctl, tests, examples) mutates it.
+//
+// Reads go through an immutable snapshot published with an atomic pointer,
+// so the per-packet classification path costs one atomic load and a scan
+// of a small slice — no lock acquisition and no map iteration. Writers
+// serialize on a mutex, rebuild the snapshot, and publish it.
 type DB struct {
-	mu    sync.RWMutex
+	mu    sync.Mutex // serializes writers
 	rules map[Rule]struct{}
+	snap  atomic.Pointer[dbSnapshot]
+}
+
+// dbSnapshot is the immutable read-side view: the mode plus the rule set
+// in the deterministic sorted order Rules reports.
+type dbSnapshot struct {
 	mode  Mode
+	rules []Rule
 }
 
 // NewDB returns an empty database in ModeVanilla.
 func NewDB() *DB {
-	return &DB{rules: make(map[Rule]struct{}), mode: ModeVanilla}
+	db := &DB{rules: make(map[Rule]struct{})}
+	db.snap.Store(&dbSnapshot{mode: ModeVanilla})
+	return db
+}
+
+// publish rebuilds the snapshot from the rule map. Callers hold db.mu.
+func (db *DB) publish(mode Mode) {
+	rules := make([]Rule, 0, len(db.rules))
+	for r := range db.rules {
+		rules = append(rules, r)
+	}
+	sort.Slice(rules, func(i, j int) bool { return rules[i].String() < rules[j].String() })
+	db.snap.Store(&dbSnapshot{mode: mode, rules: rules})
 }
 
 // Mode returns the current operation mode.
-func (db *DB) Mode() Mode {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	return db.mode
-}
+func (db *DB) Mode() Mode { return db.snap.Load().mode }
 
 // SetMode switches the operation mode at runtime, like writing the paper's
 // global binary proc variable.
 func (db *DB) SetMode(m Mode) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	db.mode = m
+	db.publish(m)
 }
 
 // Add inserts a rule. Adding an existing rule is a no-op.
@@ -126,6 +147,7 @@ func (db *DB) Add(r Rule) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	db.rules[r] = struct{}{}
+	db.publish(db.snap.Load().mode)
 }
 
 // Remove deletes a rule, reporting whether it existed.
@@ -134,6 +156,7 @@ func (db *DB) Remove(r Rule) bool {
 	defer db.mu.Unlock()
 	_, ok := db.rules[r]
 	delete(db.rules, r)
+	db.publish(db.snap.Load().mode)
 	return ok
 }
 
@@ -142,24 +165,17 @@ func (db *DB) Clear() {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	db.rules = make(map[Rule]struct{})
+	db.publish(db.snap.Load().mode)
 }
 
 // Len returns the number of rules.
-func (db *DB) Len() int {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	return len(db.rules)
-}
+func (db *DB) Len() int { return len(db.snap.Load().rules) }
 
 // Rules returns a sorted copy of the rule set.
 func (db *DB) Rules() []Rule {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	out := make([]Rule, 0, len(db.rules))
-	for r := range db.rules {
-		out = append(out, r)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
+	snap := db.snap.Load()
+	out := make([]Rule, len(snap.rules))
+	copy(out, snap.rules)
 	return out
 }
 
@@ -171,10 +187,8 @@ func (db *DB) Classify(k pkt.FlowKey) bool { return db.ClassifyLevel(k) > 0 }
 // ClassifyLevel returns the highest level among matching rules, or 0 for
 // best effort.
 func (db *DB) ClassifyLevel(k pkt.FlowKey) int {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
 	best := 0
-	for r := range db.rules {
+	for _, r := range db.snap.Load().rules {
 		if r.matchEndpoint(k.SrcIP, k.SrcPort) || r.matchEndpoint(k.DstIP, k.DstPort) {
 			if l := r.EffectiveLevel(); l > best {
 				best = l

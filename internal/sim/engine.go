@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 )
@@ -17,42 +16,12 @@ type Event struct {
 	a1   any
 	a2   any
 	seq  uint64 // tie-break: FIFO among equal timestamps
-	idx  int    // heap index, -1 once popped or cancelled
+	next *Event // intrusive link in a wheel slot or the overflow list
 	dead bool   // cancelled
 }
 
 // Cancelled reports whether the event was cancelled before it fired.
 func (e *Event) Cancelled() bool { return e.dead }
-
-// eventHeap orders events by (At, seq).
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].At != h[j].At {
-		return h[i].At < h[j].At
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].idx = i
-	h[j].idx = j
-}
-func (h *eventHeap) Push(x any) {
-	ev := x.(*Event)
-	ev.idx = len(*h)
-	*h = append(*h, ev)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.idx = -1
-	*h = old[:n-1]
-	return ev
-}
 
 // ErrHalted is returned by Run when Halt was called before the horizon.
 var ErrHalted = errors.New("sim: halted")
@@ -60,9 +29,34 @@ var ErrHalted = errors.New("sim: halted")
 // Engine is a single-threaded discrete-event scheduler. It is intentionally
 // not safe for concurrent use: determinism requires a single logical thread
 // of control, and all model code runs inside event callbacks.
+//
+// The event queue is a hierarchical timing wheel (see wheel.go), not a
+// binary heap: schedule, cancel and dispatch are O(1) amortized, and the
+// dispatch order is exactly (At, seq) — timestamp order with FIFO
+// tie-breaking — the same total order the previous container/heap queue
+// produced, so results are bit-identical across the two implementations.
 type Engine struct {
-	now    Time
-	queue  eventHeap
+	now Time
+	// cur is the wheel reference point: every pending event is filed at
+	// the level selected by the highest bit of (At ^ cur). It trails the
+	// clock (cur <= now between dispatches) and advances only inside
+	// takeNext, so scheduling — which requires At >= now — can never
+	// land behind it.
+	cur    Time
+	near   nearWheel
+	coarse [coarseLevels]coarseWheel
+	// levelMask has bit 0 set iff the near wheel has any occupied slot
+	// and bit l+1 set iff coarse level l does, so the dispatch scan finds
+	// the lowest nonempty wheel with one bit op.
+	levelMask uint32
+	// overflow holds events beyond the wheels' span (At ^ cur covering
+	// more than wheelSpan bits), as an unsorted FIFO list. It cascades
+	// back into the wheels when every level drains (wheel.go).
+	ofHead, ofTail *Event
+	// nextEv caches the earliest pending event between dispatches; nil
+	// means unknown. Maintained by peek/schedule/Cancel, cleared by Step.
+	nextEv *Event
+	npend  int      // live count of scheduled, uncancelled events
 	free   []*Event // recycled event records
 	seq    uint64
 	halted bool
@@ -84,16 +78,10 @@ func (e *Engine) Now() Time { return e.now }
 // RNG returns the engine's deterministic random source.
 func (e *Engine) RNG() *RNG { return e.rng }
 
-// Pending returns the number of scheduled, uncancelled events.
-func (e *Engine) Pending() int {
-	n := 0
-	for _, ev := range e.queue {
-		if !ev.dead {
-			n++
-		}
-	}
-	return n
-}
+// Pending returns the number of scheduled, uncancelled events. The count is
+// maintained live on schedule, cancel and dispatch, so invariant checkers
+// may call it as often as they like without scanning the queue.
+func (e *Engine) Pending() int { return e.npend }
 
 // alloc pops a recycled event record or allocates a fresh one.
 func (e *Engine) alloc() *Event {
@@ -115,6 +103,18 @@ func (e *Engine) release(ev *Event) {
 	e.free = append(e.free, ev)
 }
 
+// schedule files a freshly armed event into the wheel and keeps the
+// peek cache and pending count current.
+func (e *Engine) schedule(ev *Event) {
+	e.npend++
+	// A strictly earlier arrival becomes the new minimum; an equal
+	// timestamp keeps the cached event, whose seq is smaller.
+	if e.nextEv != nil && ev.At < e.nextEv.At {
+		e.nextEv = ev
+	}
+	e.push(ev)
+}
+
 // At schedules fn to run at absolute virtual time t. Scheduling in the past
 // panics: it is always a model bug, and silently clamping it would hide
 // causality violations.
@@ -125,7 +125,7 @@ func (e *Engine) At(t Time, fn func()) *Event {
 	ev := e.alloc()
 	ev.At, ev.Fn, ev.seq = t, fn, e.seq
 	e.seq++
-	heap.Push(&e.queue, ev)
+	e.schedule(ev)
 	return ev
 }
 
@@ -141,7 +141,7 @@ func (e *Engine) CallAt(t Time, fn func(Time, any, any), a1, a2 any) *Event {
 	ev := e.alloc()
 	ev.At, ev.fn2, ev.a1, ev.a2, ev.seq = t, fn, a1, a2, e.seq
 	e.seq++
-	heap.Push(&e.queue, ev)
+	e.schedule(ev)
 	return ev
 }
 
@@ -154,14 +154,18 @@ func (e *Engine) After(d Time, fn func()) *Event {
 }
 
 // Cancel marks ev so it will not fire. Cancelling an already-fired or
-// already-cancelled event is a no-op. The record is recycled when the heap
-// pops it, so the caller must drop the handle after cancelling.
+// already-cancelled event is a no-op. The record is recycled when its wheel
+// slot is next walked, so the caller must drop the handle after cancelling.
 func (e *Engine) Cancel(ev *Event) {
 	if ev == nil || ev.dead {
 		return
 	}
 	ev.dead = true
 	ev.Fn, ev.fn2, ev.a1, ev.a2 = nil, nil, nil, nil
+	e.npend--
+	if e.nextEv == ev {
+		e.nextEv = nil
+	}
 }
 
 // Halt stops Run before the horizon. Pending events are left in the queue.
@@ -170,28 +174,30 @@ func (e *Engine) Halt() { e.halted = true }
 // Step dispatches the single earliest event, advancing the clock to it.
 // It reports false when the queue is empty.
 func (e *Engine) Step() bool {
-	for len(e.queue) > 0 {
-		ev := heap.Pop(&e.queue).(*Event)
-		if ev.dead {
-			e.release(ev)
-			continue
-		}
-		e.now = ev.At
-		fn, fn2, a1, a2 := ev.Fn, ev.fn2, ev.a1, ev.a2
-		ev.Fn = nil
-		ev.dead = true
-		e.Executed++
-		if fn2 != nil {
-			fn2(e.now, a1, a2)
-		} else {
-			fn()
-		}
-		// Recycle only after the callback: it may hold ev's handle (a
-		// timer re-arming itself) and must see it dead, not reused.
-		e.release(ev)
-		return true
+	e.nextEv = nil
+	ev := e.takeNext()
+	if ev == nil {
+		return false
 	}
-	return false
+	e.now = ev.At
+	// Tighten the wheel reference to the dispatch point. ev came from a
+	// near-wheel slot, so cur and ev.At share every bit above the bottom
+	// nearBits and no pending event changes level.
+	e.cur = ev.At
+	e.npend--
+	fn, fn2, a1, a2 := ev.Fn, ev.fn2, ev.a1, ev.a2
+	ev.Fn = nil
+	ev.dead = true
+	e.Executed++
+	if fn2 != nil {
+		fn2(e.now, a1, a2)
+	} else {
+		fn()
+	}
+	// Recycle only after the callback: it may hold ev's handle (a
+	// timer re-arming itself) and must see it dead, not reused.
+	e.release(ev)
+	return true
 }
 
 // Run dispatches events until the clock would pass horizon, the queue
@@ -258,12 +264,12 @@ func (e *Engine) RunUntilIdle() error {
 	return nil
 }
 
+// peek returns the earliest pending live event without dispatching it. The
+// scan result is cached until the next dispatch, schedule of an earlier
+// event, or cancellation of the cached minimum.
 func (e *Engine) peek() (*Event, bool) {
-	for len(e.queue) > 0 {
-		if ev := e.queue[0]; !ev.dead {
-			return ev, true
-		}
-		e.release(heap.Pop(&e.queue).(*Event))
+	if e.nextEv == nil {
+		e.nextEv = e.scanMin()
 	}
-	return nil, false
+	return e.nextEv, e.nextEv != nil
 }

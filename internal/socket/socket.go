@@ -156,16 +156,13 @@ func (s *Socket) HeldFrames() int {
 	return n
 }
 
-type bindKey struct {
-	proto uint8
-	port  uint16
-}
-
 // Table is a per-namespace socket demux table (one per container and one
-// for the host).
+// for the host). A namespace binds a handful of ports, so the table is a
+// small slice: the per-packet Lookup is a short linear scan over two-field
+// compares, cheaper than hashing a composite key into a map.
 type Table struct {
 	Name  string
-	socks map[bindKey]*Socket
+	socks []*Socket
 
 	// Obs, when set, records socket deliveries (closing each packet's
 	// lifecycle span stream) and rcvbuf-overflow drops.
@@ -174,22 +171,21 @@ type Table struct {
 
 // NewTable returns an empty socket table.
 func NewTable(name string) *Table {
-	return &Table{Name: name, socks: make(map[bindKey]*Socket)}
+	return &Table{Name: name}
 }
 
 // Bind registers a socket for (proto, port). Binding a taken port fails,
 // as bind(2) would.
 func (t *Table) Bind(proto uint8, port uint16, thread *sched.Thread, app App, recvCap int) (*Socket, error) {
-	k := bindKey{proto: proto, port: port}
-	if _, taken := t.socks[k]; taken {
+	if t.Lookup(proto, port) != nil {
 		return nil, fmt.Errorf("socket: %s port %d/%d already bound", t.Name, proto, port)
 	}
 	s := &Socket{Proto: uint16(proto), Port: port, Thread: thread, app: app, tbl: t, RecvCap: recvCap}
-	t.socks[k] = s
+	t.socks = append(t.socks, s)
 	return s, nil
 }
 
-// Each calls fn for every bound socket, in unspecified order.
+// Each calls fn for every bound socket, in bind order.
 func (t *Table) Each(fn func(*Socket)) {
 	for _, s := range t.socks {
 		fn(s)
@@ -198,7 +194,12 @@ func (t *Table) Each(fn func(*Socket)) {
 
 // Lookup finds the socket bound to (proto, dstPort), or nil.
 func (t *Table) Lookup(proto uint8, port uint16) *Socket {
-	return t.socks[bindKey{proto: proto, port: port}]
+	for _, s := range t.socks {
+		if s.Port == port && s.Proto == uint16(proto) {
+			return s
+		}
+	}
+	return nil
 }
 
 // AppFunc is a convenience App built from two functions.

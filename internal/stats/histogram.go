@@ -6,6 +6,7 @@ package stats
 import (
 	"fmt"
 	"math"
+	"math/bits"
 	"sort"
 	"strings"
 
@@ -34,7 +35,7 @@ const defaultSubBuckets = 128
 // [0, 2^62) nanoseconds.
 func NewHistogram() *Histogram {
 	sb := defaultSubBuckets
-	shift := uint(bitsLen(uint64(sb)) - 1)
+	shift := uint(bits.Len64(uint64(sb)) - 1)
 	// 64 exponent ranges x subBuckets slots is more than enough for any
 	// latency this simulator can produce; ~64 KiB per histogram.
 	return &Histogram{
@@ -46,23 +47,14 @@ func NewHistogram() *Histogram {
 	}
 }
 
-func bitsLen(v uint64) int {
-	n := 0
-	for v != 0 {
-		v >>= 1
-		n++
-	}
-	return n
-}
-
 // bucketIndex maps a non-negative value to its bucket.
 func (h *Histogram) bucketIndex(v int64) int {
 	if v < int64(h.subBuckets) {
 		return int(v)
 	}
 	u := uint64(v)
-	exp := bitsLen(u) - int(h.subShift) - 1 // how far above the linear range
-	slot := int(u >> uint(exp))             // in [subBuckets, 2*subBuckets)
+	exp := bits.Len64(u) - int(h.subShift) - 1 // how far above the linear range
+	slot := int(u >> uint(exp))                // in [subBuckets, 2*subBuckets)
 	return exp*h.subBuckets + slot
 }
 

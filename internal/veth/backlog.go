@@ -19,9 +19,9 @@ type Backlog struct {
 	Dev *netdev.Device
 
 	costs *netdev.Costs
-	// endpoints maps each veth MAC to its container's identity and socket
-	// table.
-	endpoints map[pkt.MAC]*endpoint
+	// endpoints maps each veth MAC (packed with pkt.MAC.Key for the fast
+	// integer map path) to its container's identity and socket table.
+	endpoints map[uint64]*endpoint
 
 	// Misaddressed counts frames whose destination MAC has no registered
 	// veth (an FDB inconsistency).
@@ -36,14 +36,14 @@ type endpoint struct {
 // NewBacklog builds the per-CPU backlog device. Its queue capacity is
 // netdev_max_backlog (1000), shared by all veths on the core.
 func NewBacklog(name string, costs *netdev.Costs) *Backlog {
-	b := &Backlog{costs: costs, endpoints: make(map[pkt.MAC]*endpoint)}
+	b := &Backlog{costs: costs, endpoints: make(map[uint64]*endpoint)}
 	b.Dev = netdev.NewDevice(name, netdev.DriverBacklog, netdev.HandlerFunc(b.handle), QueueCap)
 	return b
 }
 
 // Register attaches a veth endpoint (a container) to this backlog.
 func (b *Backlog) Register(mac pkt.MAC, ip pkt.IPv4, sockets *socket.Table) {
-	b.endpoints[mac] = &endpoint{ip: ip, sockets: sockets}
+	b.endpoints[mac.Key()] = &endpoint{ip: ip, sockets: sockets}
 }
 
 func (b *Backlog) handle(now sim.Time, skb *pkt.SKB) netdev.Result {
@@ -51,7 +51,7 @@ func (b *Backlog) handle(now sim.Time, skb *pkt.SKB) netdev.Result {
 	if err != nil {
 		return netdev.Result{Verdict: netdev.VerdictDrop, Cost: b.costs.VethPacket}
 	}
-	ep := b.endpoints[eth.Dst]
+	ep := b.endpoints[eth.Dst.Key()]
 	if ep == nil {
 		b.Misaddressed++
 		return netdev.Result{Verdict: netdev.VerdictDrop, Cost: b.costs.VethPacket}

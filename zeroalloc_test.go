@@ -4,6 +4,8 @@ import (
 	"testing"
 
 	"prism"
+	"prism/internal/par"
+	"prism/internal/sim"
 )
 
 // TestSteadyStateRxPathZeroAlloc is the allocation regression gate for the
@@ -34,5 +36,46 @@ func TestSteadyStateRxPathZeroAlloc(t *testing.T) {
 				t.Errorf("steady-state RX path allocates: %.1f allocs per 1ms of virtual time", avg)
 			}
 		})
+	}
+}
+
+// TestCrossShardInjectZeroAlloc gates the parallel runtime's cross-shard
+// path: two shards ping-pong a pooled token pointer over 1µs-lookahead
+// links, so every synchronization window exercises Link.Send, the barrier
+// collect/sort, and Group.inject's batched CallAt scheduling. Once the
+// link buffers, inboxes and event free-lists have warmed up, running more
+// windows must not allocate — this is the path that regressed when inject
+// captured a closure per message.
+func TestCrossShardInjectZeroAlloc(t *testing.T) {
+	g := par.NewGroup()
+	sa := g.Add("a", sim.NewEngine(1))
+	sb := g.Add("b", sim.NewEngine(2))
+	const lookahead = sim.Microsecond
+	var ab, ba *par.Link
+	ab = g.Connect(sa, sb, lookahead, func(at sim.Time, payload any) {
+		ba.Send(at, lookahead, payload)
+	})
+	ba = g.Connect(sb, sa, lookahead, func(at sim.Time, payload any) {
+		ab.Send(at, lookahead, payload)
+	})
+	token := new(int)
+	ab.Send(0, lookahead, token)
+
+	// Warm up the link buffers, inbox slices and both engines' free lists.
+	horizon := 10 * sim.Millisecond
+	if err := g.Run(horizon, 1); err != nil {
+		t.Fatal(err)
+	}
+	if g.Windows == 0 {
+		t.Fatal("warmup ran no synchronization windows")
+	}
+
+	if avg := testing.AllocsPerRun(10, func() {
+		horizon += sim.Millisecond
+		if err := g.Run(horizon, 1); err != nil {
+			t.Fatal(err)
+		}
+	}); avg != 0 {
+		t.Errorf("cross-shard inject path allocates: %.1f allocs per 1ms of virtual time", avg)
 	}
 }
