@@ -13,6 +13,7 @@
 //	prismsim -exp policies -policy headonly   # one policy variant only
 //	prismsim -exp cluster -hosts 16 -containers 1000   # datacenter run
 //	prismsim -exp cluster -listen :8080    # + live operator surface
+//	prismsim -exp failover                 # kill-and-recover grid
 //	prismsim -scenario scenarios/incast.yaml   # declarative scenario file
 //
 // -scenario runs a declarative scenario file (YAML subset or JSON, see
@@ -145,6 +146,23 @@ var registry = []experiment{
 			cc.Placements = []cluster.Placement{pol}
 		}
 		fmt.Println(experiments.Cluster(a.p, cc))
+	}},
+	{"failover", func(a *appCtx) {
+		fc := experiments.DefaultFailoverConfig()
+		if a.hosts > 0 {
+			fc.Hosts = a.hosts
+		}
+		if a.containers > 0 {
+			fc.Containers = a.containers
+		}
+		if a.placement != "" && a.placement != "all" {
+			pol, err := cluster.ParsePlacement(a.placement)
+			if err != nil {
+				fatal(err)
+			}
+			fc.Placements = []cluster.Placement{pol}
+		}
+		fmt.Println(experiments.Failover(a.p, fc))
 	}},
 	{"stages", func(a *appCtx) {
 		r := experiments.Stages(a.p)

@@ -21,6 +21,7 @@ package cluster
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"prism/internal/fault"
 	"prism/internal/netdev"
@@ -77,6 +78,11 @@ type Config struct {
 	Admission *Admission
 	// Fabric sizes the switching fabric.
 	Fabric FabricConfig
+	// Recovery arms the failure detector and recovery controller; nil
+	// (the default) disables the whole subsystem — no heartbeats, no
+	// controller ticks, no extra events — so pre-existing configurations
+	// run bit-identically.
+	Recovery *RecoveryConfig
 	// Warmup is discarded from latency/utilization accounting.
 	Warmup sim.Time
 	// EchoCost / SinkCost are the per-request application CPU costs.
@@ -143,6 +149,29 @@ type Node struct {
 	FromFabric uint64
 	ToClients  uint64
 	Misrouted  uint64
+
+	// down marks the host fail-stopped at the wire: internally its engine
+	// keeps running (so the per-host ledgers stay closed), but nothing
+	// enters or leaves. Written only from the host's own shard at exact
+	// event times; read by the barrier controller.
+	down   bool
+	downAt sim.Time
+	// lastBeat is the host's most recent heartbeat on the out-of-band
+	// control network (written on the host shard, read at barriers).
+	lastBeat sim.Time
+
+	// CrashRx counts fabric frames that arrived while the host was down;
+	// CrashTx frames the host tried to emit while down (neither enters
+	// the fabric ledger — CrashTx frames were never Injected, CrashRx
+	// frames are accounted as fabric drops). EpochDrops counts frames
+	// that arrived here under a routing epoch that no longer maps them to
+	// this host — in-flight during a snapshot swap, delivered nowhere,
+	// but counted, never silently lost. Retries counts admission-refusal
+	// retries scheduled while the cluster was degraded.
+	CrashRx    uint64
+	CrashTx    uint64
+	EpochDrops uint64
+	Retries    uint64
 }
 
 // Flow is one placed container workload and its generator.
@@ -159,19 +188,51 @@ type Flow struct {
 
 // Cluster is one fully wired instance of a Config.
 type Cluster struct {
-	Cfg        Config
-	Group      *par.Group
-	Nodes      []*Node
-	Tors       []*Switch
-	Spine      *Switch // nil when the fabric has a single rack
-	Snap       *Snapshot
+	Cfg   Config
+	Group *par.Group
+	Nodes []*Node
+	Tors  []*Switch
+	Spine *Switch // nil when the fabric has a single rack
+	// Assignment maps flow index → host ID. It starts as the placer's
+	// output and is updated by recovery migrations.
 	Assignment []int
 	Flows      []*Flow
+
+	// snap is the shared routing snapshot every switch and downlink
+	// classifier reads; recovery swaps it atomically at barrier epochs.
+	snap atomic.Pointer[Snapshot]
+
+	// torUp[r] is rack r's ToR→spine uplink port; spineDown[r] the
+	// spine's matching downlink (both nil-length with a single rack).
+	torUp     []*Port
+	spineDown []*Port
 
 	links   []*par.Link
 	perRack int
 	horizon sim.Time
 	ckpt    *par.Ticker
+	// ctrl drives the recovery controller at barrier boundaries.
+	ctrl *par.Ticker
+	rec  *recoveryState
+}
+
+// Snapshot returns the live routing snapshot (safe from any goroutine).
+func (c *Cluster) Snapshot() *Snapshot { return c.snap.Load() }
+
+// SwapSnapshot atomically publishes a new routing snapshot. Versions must
+// be strictly increasing — the monotonicity every switch relies on to
+// tell a stale epoch from the live one. Call only while the shards are
+// quiescent (at a barrier, or before Run).
+func (c *Cluster) SwapSnapshot(next *Snapshot) error {
+	cur := c.snap.Load()
+	if next == nil {
+		return fmt.Errorf("cluster: nil snapshot")
+	}
+	if next.Version <= cur.Version {
+		return fmt.Errorf("cluster: snapshot version must increase: %d -> %d", cur.Version, next.Version)
+	}
+	c.snap.Store(next)
+	return nil
 }
 
 // New wires the cluster a Config describes: place containers, build the
@@ -211,9 +272,8 @@ func New(cfg Config) (*Cluster, error) {
 		routes[SvcPort(i)] = Route{Host: assign[i], Hi: sp.Hi}
 		routes[CliPort(i)] = Route{Host: ingressOf(i), Hi: sp.Hi, ToClient: true}
 	}
-	snap := NewSnapshot(1, routes)
-
-	c := &Cluster{Cfg: cfg, Group: par.NewGroup(), Snap: snap, Assignment: assign}
+	c := &Cluster{Cfg: cfg, Group: par.NewGroup(), Assignment: assign}
+	c.snap.Store(NewSnapshot(1, routes))
 	c.perRack = (cfg.Hosts + fc.Racks - 1) / fc.Racks
 
 	// Hosts, one shard each, with derived seeds and fault streams.
@@ -243,12 +303,12 @@ func New(cfg Config) (*Cluster, error) {
 	// Switches: one ToR per rack, plus a spine when there is more than
 	// one rack.
 	for r := 0; r < fc.Racks; r++ {
-		tor := newSwitch(c.Group, fmt.Sprintf("tor%02d", r), switchSeed(cfg.Seed, r), fc.TorLatency, fc, snap)
+		tor := newSwitch(c.Group, fmt.Sprintf("tor%02d", r), switchSeed(cfg.Seed, r), fc.TorLatency, fc, &c.snap)
 		tor.Pipe.T.SetSampling(cfg.ObsSampling)
 		c.Tors = append(c.Tors, tor)
 	}
 	if fc.Racks > 1 {
-		c.Spine = newSwitch(c.Group, "spine", switchSeed(cfg.Seed, fc.Racks), fc.SpineLatency, fc, snap)
+		c.Spine = newSwitch(c.Group, "spine", switchSeed(cfg.Seed, fc.Racks), fc.SpineLatency, fc, &c.snap)
 		c.Spine.Pipe.T.SetSampling(cfg.ObsSampling)
 	}
 
@@ -271,6 +331,10 @@ func New(cfg Config) (*Cluster, error) {
 
 		host := n.Host
 		host.WireTx = func(now, arrive sim.Time, frame []byte) {
+			if n.down {
+				n.CrashTx++
+				return
+			}
 			n.Injected++
 			n.Up.Send(now, arrive-now, frame)
 		}
@@ -279,12 +343,14 @@ func New(cfg Config) (*Cluster, error) {
 	// ToR↔spine links and the routing closures.
 	if c.Spine != nil {
 		spineDown := make([]*Port, fc.Racks)
+		c.torUp = make([]*Port, fc.Racks)
 		for r, tor := range c.Tors {
 			r, tor := r, tor
 			upLink := c.connect(tor.Shard, c.Spine.Shard, fc.SpineLink, func(at sim.Time, payload any) {
 				c.Spine.Receive(at, payload.([]byte))
 			})
 			torUp := tor.addPort(fmt.Sprintf("%s->spine", tor.Name), upLink, fc.SpineLink)
+			c.torUp[r] = torUp
 			downLink := c.connect(c.Spine.Shard, tor.Shard, fc.SpineLink, func(at sim.Time, payload any) {
 				tor.Receive(at, payload.([]byte))
 			})
@@ -298,6 +364,7 @@ func New(cfg Config) (*Cluster, error) {
 				return torUp
 			}
 		}
+		c.spineDown = spineDown
 		c.Spine.portFor = func(rt Route) *Port { return spineDown[c.rackOf(rt.Host)] }
 	} else {
 		down := torDown[0]
@@ -345,6 +412,9 @@ func New(cfg Config) (*Cluster, error) {
 		}
 		c.Flows = append(c.Flows, fl)
 	}
+	if err := c.initRecovery(); err != nil {
+		return nil, err
+	}
 	return c, nil
 }
 
@@ -375,20 +445,58 @@ func (c *Cluster) rackOf(host int) int { return host / c.perRack }
 // ingress shard.
 func (c *Cluster) injectVia(in *Node, hi bool) func(now, arrive sim.Time, frame []byte) {
 	return func(now, arrive sim.Time, frame []byte) {
-		if !in.Bucket.Admit(now, hi) {
+		c.inject(in, hi, now, arrive, frame, 0)
+	}
+}
+
+// inject admits one generator frame into the fabric at node in, retrying
+// refused admissions with exponential backoff while the cluster is
+// degraded (recovery armed, a host down): the retry models clients
+// backing off into the capacity-scaled bucket instead of silently losing
+// offered load during failover. The retry preserves the frame's
+// departure→arrival delta, so the re-sent frame still satisfies the
+// uplink's lookahead contract. Runs in event context on the ingress
+// shard.
+func (c *Cluster) inject(in *Node, hi bool, now, arrive sim.Time, frame []byte, attempt int) {
+	if in.down {
+		in.CrashTx++
+		return
+	}
+	if !in.Bucket.Admit(now, hi) {
+		r := c.rec
+		if r == nil || r.cfg.RetryMax <= 0 || !r.degraded || attempt >= r.cfg.RetryMax {
 			return
 		}
-		in.Injected++
-		in.Up.Send(now, arrive-now, frame)
+		wait := arrive - now
+		delay := r.cfg.RetryBackoff.Delay(attempt + 1)
+		in.Retries++
+		in.Shard.Eng.At(now+delay, func() {
+			nn := in.Shard.Eng.Now()
+			c.inject(in, hi, nn, nn+wait, frame, attempt+1)
+		})
+		return
 	}
+	in.Injected++
+	in.Up.Send(now, arrive-now, frame)
 }
 
 // deliverToNode terminates a fabric downlink: requests enter the host's
 // NIC path, replies the client demux. Runs in event context on the node's
-// shard.
+// shard. A down host absorbs the frame (CrashRx — the fail-stop wire). A
+// frame whose route no longer points here was in flight across a
+// snapshot swap: with recovery armed it is an epoch drop (counted, never
+// silent); otherwise the fabric genuinely misrouted it.
 func (c *Cluster) deliverToNode(n *Node, at sim.Time, frame []byte) {
-	rt, ok := classify(c.Snap, frame)
+	if n.down {
+		n.CrashRx++
+		return
+	}
+	rt, ok := classify(c.snap.Load(), frame)
 	if !ok || rt.Host != n.ID {
+		if ok && c.rec != nil {
+			n.EpochDrops++
+			return
+		}
 		n.Misrouted++
 		return
 	}
@@ -421,11 +529,26 @@ func (c *Cluster) switches() []*Switch {
 func (c *Cluster) SetCheckpoint(interval sim.Time, fn func(at sim.Time)) {
 	if interval <= 0 || fn == nil {
 		c.ckpt = nil
+	} else {
+		c.ckpt = par.NewTicker(interval, fn)
+	}
+	c.armBarrier()
+}
+
+// armBarrier installs the single OnBarrier hook multiplexing the
+// recovery controller and the checkpoint ticker. The controller runs
+// first, so checkpoints observe post-recovery state at the same epoch.
+// windowEnd is exclusive, so the tickers advance to windowEnd-1 — the
+// last instant whose events have all executed.
+func (c *Cluster) armBarrier() {
+	if c.ctrl == nil && c.ckpt == nil {
 		c.Group.OnBarrier = nil
 		return
 	}
-	c.ckpt = par.NewTicker(interval, fn)
-	c.Group.OnBarrier = func(windowEnd sim.Time) { c.ckpt.Advance(windowEnd - 1) }
+	c.Group.OnBarrier = func(windowEnd sim.Time) {
+		c.ctrl.Advance(windowEnd - 1)
+		c.ckpt.Advance(windowEnd - 1)
+	}
 }
 
 // SetTap installs fn as every host's frame tap (nil uninstalls). The tap
@@ -486,10 +609,13 @@ func (c *Cluster) flowIndexForPort(port uint16) (int, bool) {
 
 // Run executes warmup + duration with the given worker count, resetting
 // every host core's and fabric port's utilization window at the end of
-// warmup, and arming the hosts' fault timelines.
+// warmup, and arming the hosts' fault timelines plus (when configured)
+// the recovery subsystem: scripted failure events, heartbeats, per-ToR
+// fault planes, and the barrier-quantized controller tick.
 func (c *Cluster) Run(duration sim.Time, workers int) error {
 	c.horizon = c.Cfg.Warmup + duration
 	warmup := c.Cfg.Warmup
+	c.armRecovery()
 	for _, n := range c.Nodes {
 		n := n
 		n.Host.Eng.At(warmup, func() { n.Host.ProcCore.ResetWindow(warmup) })
@@ -504,7 +630,11 @@ func (c *Cluster) Run(duration sim.Time, workers int) error {
 	if err := c.Group.Run(c.horizon, workers); err != nil {
 		return err
 	}
+	c.ctrl.Flush(c.horizon)
 	c.ckpt.Flush(c.horizon)
+	if c.rec != nil && c.rec.err != nil {
+		return c.rec.err
+	}
 	return nil
 }
 
@@ -567,17 +697,46 @@ func (c *Cluster) fabricInFlight() int {
 	return n
 }
 
-// Terms aggregates the cluster-wide conservation terms.
+// Terms aggregates the cluster-wide conservation terms, with per-host and
+// per-switch breakdowns (so a broken equation names its residual) and one
+// reconciliation record per recovery migration.
 func (c *Cluster) Terms() testbed.ClusterTerms {
 	var t testbed.ClusterTerms
 	for _, n := range c.Nodes {
 		t.Injected += n.Injected
 		t.ToHosts += n.FromFabric
 		t.ToClients += n.ToClients
-		t.Dropped += n.Misrouted
+		t.Dropped += n.Misrouted + n.CrashRx + n.EpochDrops
+		t.CrashDropped += n.CrashRx
+		t.EpochDropped += n.EpochDrops
+		t.PerHost = append(t.PerHost, testbed.HostTerms{
+			Name: n.Name, Injected: n.Injected, FromFabric: n.FromFabric,
+			ToClients: n.ToClients, Misrouted: n.Misrouted,
+			CrashRx: n.CrashRx, CrashTx: n.CrashTx, EpochDrops: n.EpochDrops,
+		})
 	}
 	for _, sw := range c.switches() {
 		t.Dropped += sw.dropped()
+		t.PerSwitch = append(t.PerSwitch, testbed.SwitchTerms{
+			Name: sw.Name, Rx: sw.RxFrames, Forwarded: sw.forwarded(),
+			Dropped: sw.dropped(), InFlight: sw.inFlight(),
+		})
+	}
+	if c.rec != nil {
+		for _, m := range c.rec.migrations {
+			f := c.Flows[m.Flow]
+			mt := testbed.MigrationTerm{
+				Flow: f.Spec.Name, OldHost: m.OldHost, NewHost: m.NewHost,
+				At: m.At, ServedAtSwap: m.ServedAtSwap,
+			}
+			if f.PP != nil {
+				mt.Sent, mt.Served, mt.Received = f.PP.Sent, f.PP.Served(), f.PP.Received
+			} else if f.Flood != nil {
+				mt.Sent, mt.Served = f.Flood.Sent, f.Flood.DeliveredCount()
+				mt.Received = mt.Served
+			}
+			t.Migrations = append(t.Migrations, mt)
+		}
 	}
 	t.InFlight = c.fabricInFlight()
 	return t
@@ -620,7 +779,7 @@ func (c *Cluster) FlowCounts() (hiSent, hiRecv, loSent, loRecv, floodSent, flood
 		switch {
 		case f.Flood != nil:
 			floodSent += f.Flood.Sent
-			floodRecv += f.Flood.Delivered.Count()
+			floodRecv += f.Flood.DeliveredCount()
 		case f.Spec.Hi:
 			hiSent += f.PP.Sent
 			hiRecv += f.PP.Received

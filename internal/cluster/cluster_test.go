@@ -279,7 +279,7 @@ func TestClusterDeterministicAcrossWorkers(t *testing.T) {
 		if !reflect.DeepEqual(got.samples, base.samples) {
 			t.Fatalf("workers=%d: delivered sample sequences diverge", workers)
 		}
-		if got.terms != base.terms {
+		if !reflect.DeepEqual(got.terms, base.terms) {
 			t.Fatalf("workers=%d: terms diverge: %+v vs %+v", workers, got.terms, base.terms)
 		}
 		if got.counts != base.counts {

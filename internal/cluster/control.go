@@ -7,13 +7,16 @@ import (
 )
 
 // The control plane is deliberately simple and wholly deterministic: a
-// placement decision made once at build time, an immutable routing
-// snapshot distributed to every switch, and a per-host token bucket at
-// fabric ingress. Real cluster managers converge to the same shape — a
-// scheduler output plus a versioned route table pushed to the dataplane —
-// and making the snapshot immutable is what keeps the parallel simulation
-// bit-identical: switches on different shards read it concurrently but
-// nothing ever writes it after New returns.
+// placement decision made at build time, an immutable routing snapshot
+// distributed to every switch, and a per-host token bucket at fabric
+// ingress. Real cluster managers converge to the same shape — a
+// scheduler output plus a versioned route table pushed to the dataplane.
+// Each snapshot is immutable; live recovery (recovery.go) replaces the
+// whole snapshot through one atomic pointer at a barrier epoch, so
+// switches on different shards always read a consistent table and the
+// parallel simulation stays bit-identical: within a window every shard
+// sees the same version, and swaps happen only while all shards are
+// quiescent.
 
 // Placement selects the container scheduling policy.
 type Placement int
@@ -158,9 +161,11 @@ type Route struct {
 }
 
 // Snapshot is an immutable port→route table, versioned like a real
-// control plane's pushed state. Every switch and host holds the same
-// pointer; nothing mutates it after construction, so concurrent reads
-// from parallel shards are safe and deterministic.
+// control plane's pushed state. Nothing mutates a snapshot after
+// construction, so concurrent reads from parallel shards are safe and
+// deterministic; reconfiguration builds a new snapshot (copying the
+// route map — the old snapshot still aliases its own) with a strictly
+// larger version and swaps it in atomically at a barrier.
 type Snapshot struct {
 	Version int
 	routes  map[uint16]Route
@@ -181,6 +186,16 @@ func (s *Snapshot) Lookup(port uint16) (Route, bool) {
 // Len reports the number of installed routes.
 func (s *Snapshot) Len() int { return len(s.routes) }
 
+// cloneRoutes copies the route table — the first step of building a
+// successor snapshot without mutating the published one.
+func (s *Snapshot) cloneRoutes() map[uint16]Route {
+	m := make(map[uint16]Route, len(s.routes))
+	for k, v := range s.routes {
+		m[k] = v
+	}
+	return m
+}
+
 // Admission configures the per-host ingress token bucket.
 type Admission struct {
 	// Rate is tokens (frames) per second; Burst the bucket depth.
@@ -197,7 +212,10 @@ type Admission struct {
 // pure function of the event clock, so admission decisions are identical
 // for any worker count.
 type TokenBucket struct {
+	// rate is the live refill rate; base the configured one (rate =
+	// base × capacity factor while the cluster is degraded).
 	rate   float64
+	base   float64
 	burst  float64
 	floor  float64
 	tokens float64
@@ -214,10 +232,34 @@ func NewTokenBucket(a Admission) *TokenBucket {
 	}
 	return &TokenBucket{
 		rate:   a.Rate,
+		base:   a.Rate,
 		burst:  a.Burst,
 		floor:  a.HiReserve * a.Burst,
 		tokens: a.Burst,
 	}
+}
+
+// SetFactor rescales the refill rate to factor × the configured rate —
+// the capacity-aware degraded-mode refill: with a fraction of the
+// cluster down, ingress admission shrinks proportionally instead of
+// funneling the full offered load at the survivors. Refill accrued at
+// the old rate is settled up to now first, so the change is exact at the
+// boundary. Call only from quiescent points (barriers); nil-safe.
+func (b *TokenBucket) SetFactor(now sim.Time, factor float64) {
+	if b == nil {
+		return
+	}
+	if now > b.last {
+		b.tokens += float64(now-b.last) * b.rate / float64(sim.Second)
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+		b.last = now
+	}
+	if factor < 0 {
+		factor = 0
+	}
+	b.rate = b.base * factor
 }
 
 // Admit charges one token for a frame at virtual time now. A nil bucket

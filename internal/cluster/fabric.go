@@ -1,6 +1,8 @@
 package cluster
 
 import (
+	"sync/atomic"
+
 	"prism/internal/obs"
 	"prism/internal/par"
 	"prism/internal/pkt"
@@ -91,13 +93,20 @@ type Port struct {
 	hi, lo []queued
 	busy   bool
 	cap    int
+	// down marks the link severed (ToR-uplink failure): queued frames
+	// are flushed and arrivals drop until it restores. Mutated only from
+	// the owning switch's shard (exact-time events) or at barriers (the
+	// recovery controller mirroring the remote end).
+	down bool
 
 	// Forwarded counts frames put on the wire; Dropped counts every
-	// discard at this port (tail drops plus shed victims); ShedLo is the
-	// subset evicted to admit a high-priority frame.
-	Forwarded uint64
-	Dropped   uint64
-	ShedLo    uint64
+	// discard at this port (tail drops plus shed victims plus link-down
+	// losses); ShedLo is the subset evicted to admit a high-priority
+	// frame; DownDropped the subset lost to a severed link.
+	Forwarded   uint64
+	Dropped     uint64
+	ShedLo      uint64
+	DownDropped uint64
 
 	// busyNs accumulates transmit occupancy since winStart, for the
 	// utilization report.
@@ -133,7 +142,10 @@ type Switch struct {
 
 	cfg     FabricConfig
 	latency sim.Time
-	snap    *Snapshot
+	// snap points at the cluster's shared atomic routing snapshot;
+	// recovery swaps the snapshot at barrier epochs and every switch
+	// observes the new version from the next window on.
+	snap *atomic.Pointer[Snapshot]
 	// portFor maps a route to the egress port (downlink for local
 	// destinations, uplink toward the next tier).
 	portFor func(Route) *Port
@@ -146,7 +158,7 @@ type Switch struct {
 	seq        uint64
 }
 
-func newSwitch(g *par.Group, name string, seed uint64, latency sim.Time, cfg FabricConfig, snap *Snapshot) *Switch {
+func newSwitch(g *par.Group, name string, seed uint64, latency sim.Time, cfg FabricConfig, snap *atomic.Pointer[Snapshot]) *Switch {
 	sw := &Switch{
 		Name:    name,
 		Pipe:    obs.NewPipeline(name),
@@ -188,7 +200,7 @@ func classify(snap *Snapshot, frame []byte) (Route, bool) {
 // context on the switch's shard).
 func (s *Switch) Receive(at sim.Time, frame []byte) {
 	s.RxFrames++
-	rt, ok := classify(s.snap, frame)
+	rt, ok := classify(s.snap.Load(), frame)
 	if !ok {
 		s.Unroutable++
 		s.Pipe.FabricDrop(at, s.Name, "unroutable", 0)
@@ -201,6 +213,12 @@ func (s *Switch) enqueue(now sim.Time, p *Port, q queued) {
 	prio := 0
 	if q.hi {
 		prio = 1
+	}
+	if p.down {
+		p.Dropped++
+		p.DownDropped++
+		s.Pipe.FabricDrop(now, p.Name, "link-down", prio)
+		return
 	}
 	if p.depth() >= p.cap {
 		if q.hi && len(p.lo) > 0 {
@@ -259,6 +277,34 @@ func (s *Switch) finishTx(done sim.Time, p *Port, q queued) {
 	}
 }
 
+// setPortDown flips a port's link state. Going down flushes the queue —
+// every waiting frame is a link-down loss — while a frame already in
+// serialization finishes (it is on the wire). The restore never needs to
+// resume transmission: arrivals drop while the link is down, so the
+// queue is empty by construction — which is what lets the recovery
+// controller call this at barriers (mutating quiescent state) without
+// ever scheduling an event. Call from the switch's own shard in event
+// context, or from a barrier while all shards are quiescent.
+func (s *Switch) setPortDown(now sim.Time, p *Port, down bool) {
+	if p == nil || p.down == down {
+		return
+	}
+	p.down = down
+	if !down {
+		return
+	}
+	flushed := p.depth()
+	for i := 0; i < len(p.hi); i++ {
+		s.Pipe.FabricDrop(now, p.Name, "link-down", 1)
+	}
+	for i := 0; i < len(p.lo); i++ {
+		s.Pipe.FabricDrop(now, p.Name, "link-down", 0)
+	}
+	p.hi, p.lo = p.hi[:0], p.lo[:0]
+	p.Dropped += uint64(flushed)
+	p.DownDropped += uint64(flushed)
+}
+
 // resetWindow restarts the utilization accounting at time at (scheduled
 // on the switch's own engine at the end of warmup).
 func (s *Switch) resetWindow(at sim.Time) {
@@ -277,6 +323,15 @@ func (s *Switch) inFlight() int {
 		if p.busy {
 			n++
 		}
+	}
+	return n
+}
+
+// forwarded sums the frames the switch put on its wires.
+func (s *Switch) forwarded() uint64 {
+	var n uint64
+	for _, p := range s.Ports {
+		n += p.Forwarded
 	}
 	return n
 }

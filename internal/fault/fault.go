@@ -49,6 +49,22 @@ const (
 	ClassAll = ClassCorrupt | ClassRing | ClassLink | ClassConsumer | ClassSoftirq
 )
 
+// Recovery fault classes: fail-stop events a cluster's recovery
+// controller reacts to. They are deliberately NOT part of ClassAll — a
+// configuration must select them explicitly, and they fire only when the
+// matching cluster hook (OnHostCrash / OnTorLink) is installed. A plane
+// without the class or the hook draws nothing from its RNG for them, so
+// every pre-existing configuration's random streams — and therefore its
+// golden fixtures — are bit-identical.
+const (
+	// ClassHostCrash fail-stops a whole host at the wire, restarting it
+	// after CrashDowntime.
+	ClassHostCrash Class = 1 << 5
+	// ClassTorLink severs the rack's ToR→spine uplink for
+	// TorLinkDowntime.
+	ClassTorLink Class = 1 << 6
+)
+
 // Per-event fault probabilities at Rate == 1; each scales linearly with
 // the configured rate.
 const (
@@ -117,6 +133,14 @@ type Config struct {
 	// SoftirqStallDuration is the stall charged to the processing core
 	// when a softirq-worker stall fires.
 	SoftirqStallDuration sim.Time
+	// CrashEvery is the mean gap between ClassHostCrash events at Rate 1
+	// (scaled up at lower rates); CrashDowntime how long each crash keeps
+	// the host fail-stopped.
+	CrashEvery    sim.Time
+	CrashDowntime sim.Time
+	// TorLinkEvery / TorLinkDowntime are the ClassTorLink analogues.
+	TorLinkEvery    sim.Time
+	TorLinkDowntime sim.Time
 	// WatchdogInterval is the stuck-device scan period (dev_watchdog).
 	// Negative disables the watchdog; zero means the default.
 	WatchdogInterval sim.Time
@@ -138,6 +162,8 @@ type Counters struct {
 	SoftirqStalls   uint64
 	ConsumerStalls  uint64
 	WatchdogRescues uint64
+	HostCrashes     uint64
+	TorLinkDowns    uint64
 }
 
 // Device is the watchdog/interrupt surface a NIC exposes to the plane.
@@ -183,6 +209,12 @@ type Plane struct {
 	devices   []Device
 	consumers []Consumer
 
+	// crashFn / torFn are the cluster recovery hooks timeline crash and
+	// uplink events fire; nil (no cluster attached) disarms the classes
+	// entirely, RNG included.
+	crashFn func(at, restore sim.Time)
+	torFn   func(at, restore sim.Time)
+
 	until   sim.Time
 	started bool
 
@@ -222,6 +254,18 @@ func NewPlane(eng *sim.Engine, cfg Config) *Plane {
 	}
 	if cfg.WatchdogInterval == 0 {
 		cfg.WatchdogInterval = 2 * sim.Millisecond
+	}
+	if cfg.CrashEvery <= 0 {
+		cfg.CrashEvery = 25 * sim.Millisecond
+	}
+	if cfg.CrashDowntime <= 0 {
+		cfg.CrashDowntime = 8 * sim.Millisecond
+	}
+	if cfg.TorLinkEvery <= 0 {
+		cfg.TorLinkEvery = 30 * sim.Millisecond
+	}
+	if cfg.TorLinkDowntime <= 0 {
+		cfg.TorLinkDowntime = 5 * sim.Millisecond
 	}
 	for i := range cfg.Phases {
 		if cfg.Phases[i].Classes == 0 {
@@ -266,6 +310,26 @@ func (p *Plane) WatchConsumer(c Consumer) {
 		return
 	}
 	p.consumers = append(p.consumers, c)
+}
+
+// OnHostCrash installs the hook a ClassHostCrash timeline event fires:
+// fail-stop at `at`, restart at `restore`. Install before Start; without
+// a hook the class never arms. Nil-safe.
+func (p *Plane) OnHostCrash(fn func(at, restore sim.Time)) {
+	if p == nil {
+		return
+	}
+	p.crashFn = fn
+}
+
+// OnTorLink installs the hook a ClassTorLink timeline event fires: the
+// rack uplink goes down at `at` and restores at `restore`. Install
+// before Start; without a hook the class never arms. Nil-safe.
+func (p *Plane) OnTorLink(fn func(at, restore sim.Time)) {
+	if p == nil {
+		return
+	}
+	p.torFn = fn
 }
 
 // injecting reports whether the plane can inject at any point of the run

@@ -51,6 +51,9 @@ func (p *Plane) Start(until sim.Time) {
 
 // armPhase arms one window's timeline chains: a spurious-IRQ chain per
 // device and a stall chain per consumer, each confined to [base, end).
+// The recovery classes additionally require their cluster hook — the
+// class-then-hook guard order means a plane without both draws nothing
+// from the RNG, keeping pre-existing configurations bit-identical.
 func (p *Plane) armPhase(classes Class, base, end sim.Time, rate float64) {
 	if classes&ClassRing != 0 {
 		for _, d := range p.devices {
@@ -61,6 +64,12 @@ func (p *Plane) armPhase(classes Class, base, end sim.Time, rate float64) {
 		for _, c := range p.consumers {
 			p.armStall(c, base, end, rate)
 		}
+	}
+	if classes&ClassHostCrash != 0 && p.crashFn != nil {
+		p.armCrash(base, end, rate)
+	}
+	if classes&ClassTorLink != 0 && p.torFn != nil {
+		p.armTorLink(base, end, rate)
 	}
 }
 
@@ -95,6 +104,41 @@ func (p *Plane) armStall(c Consumer, base, end sim.Time, rate float64) {
 		p.injected("consumerstall")
 		c.Stall(at, p.cfg.StallDuration)
 		p.armStall(c, at, end, rate)
+	})
+}
+
+// armCrash schedules the next host-crash event after base, stopping at
+// end. The chain re-arms from the restart time, so one crash's downtime
+// never overlaps the next.
+func (p *Plane) armCrash(base, end sim.Time, rate float64) {
+	gap := p.rng.ExpDuration(sim.Time(float64(p.cfg.CrashEvery) / rate))
+	at := base + gap + 1
+	if at >= end {
+		return
+	}
+	restore := at + p.cfg.CrashDowntime
+	p.eng.At(at, func() {
+		p.HostCrashes++
+		p.injected("hostcrash")
+		p.crashFn(at, restore)
+		p.armCrash(restore, end, rate)
+	})
+}
+
+// armTorLink schedules the next uplink failure after base, stopping at
+// end, re-arming from the restore time.
+func (p *Plane) armTorLink(base, end sim.Time, rate float64) {
+	gap := p.rng.ExpDuration(sim.Time(float64(p.cfg.TorLinkEvery) / rate))
+	at := base + gap + 1
+	if at >= end {
+		return
+	}
+	restore := at + p.cfg.TorLinkDowntime
+	p.eng.At(at, func() {
+		p.TorLinkDowns++
+		p.injected("torlinkdown")
+		p.torFn(at, restore)
+		p.armTorLink(restore, end, rate)
 	})
 }
 

@@ -2,6 +2,8 @@ package live
 
 import (
 	"net/http"
+	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -23,6 +25,28 @@ type selector struct {
 	dir       string // "rx", "tx", "" for both
 }
 
+// String renders the filter the way it was asked for on the query string,
+// so an operator reading /status can tell the subscriptions apart.
+func (sel selector) String() string {
+	var parts []string
+	if sel.container != "" {
+		parts = append(parts, "container="+sel.container)
+	}
+	if sel.host != "" {
+		parts = append(parts, "host="+sel.host)
+	}
+	if sel.prio != "" && sel.prio != "any" {
+		parts = append(parts, "prio="+sel.prio)
+	}
+	if sel.dir != "" {
+		parts = append(parts, "dir="+sel.dir)
+	}
+	if len(parts) == 0 {
+		return "all"
+	}
+	return strings.Join(parts, " ")
+}
+
 // capturePkt is one tapped frame, already copied out of simulation
 // ownership. Subscribers matching the same frame share the copy
 // (read-only from here on).
@@ -36,6 +60,7 @@ type capturePkt struct {
 const subBufDepth = 1024
 
 type subscriber struct {
+	id      uint64
 	sel     selector
 	ch      chan capturePkt
 	dropped uint64
@@ -51,6 +76,7 @@ type hub struct {
 	mu       sync.Mutex
 	classify Classify
 	subs     map[*subscriber]bool
+	nextID   uint64
 	dropped  uint64
 	closed   bool
 }
@@ -78,11 +104,43 @@ func (h *hub) subscribe(sel selector) *subscriber {
 	if h.closed {
 		close(sub.ch)
 	} else {
+		h.nextID++
+		sub.id = h.nextID
 		h.subs[sub] = true
 		h.active.Store(int32(len(h.subs)))
 	}
 	h.mu.Unlock()
 	return sub
+}
+
+// CaptureSub is one live /capture subscription's health, as surfaced on
+// the /status stream: which filter it runs, how deep its buffer sits and
+// how many frames it has lost to falling behind.
+type CaptureSub struct {
+	ID       uint64 `json:"id"`
+	Selector string `json:"selector"`
+	Queued   int    `json:"queued"`
+	Dropped  uint64 `json:"dropped"`
+}
+
+// subscriberStats snapshots every live subscription, oldest first.
+func (h *hub) subscriberStats() []CaptureSub {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.subs) == 0 {
+		return nil
+	}
+	out := make([]CaptureSub, 0, len(h.subs))
+	for sub := range h.subs {
+		out = append(out, CaptureSub{
+			ID:       sub.id,
+			Selector: sub.sel.String(),
+			Queued:   len(sub.ch),
+			Dropped:  sub.dropped,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
 }
 
 func (h *hub) unsubscribe(sub *subscriber) {

@@ -56,6 +56,9 @@ type Status struct {
 	// capture subscribers.
 	TraceDropped   uint64 `json:"trace_dropped,omitempty"`
 	CaptureDropped uint64 `json:"capture_dropped,omitempty"`
+	// CaptureSubs breaks CaptureDropped down per live /capture stream, so
+	// an operator can tell which consumer is falling behind.
+	CaptureSubs []CaptureSub `json:"capture_subs,omitempty"`
 	// FabricUtil is per-port fabric transmit occupancy (cluster runs).
 	FabricUtil map[string]float64 `json:"fabric_util,omitempty"`
 }
@@ -173,6 +176,7 @@ func (s *Server) Checkpoint(at sim.Time, reg *obs.Registry, delta []obs.Event) {
 	s.lastAt, s.lastDelivered = at, delivered
 	s.status.FabricUtil = s.fabric
 	s.status.CaptureDropped = s.hub.droppedCount()
+	s.status.CaptureSubs = s.hub.subscriberStats()
 
 	// Render the trace delta as one NDJSON chunk, retain it, wake readers.
 	// The first chunk carries the process metadata row even with no events.

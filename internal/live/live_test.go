@@ -281,6 +281,72 @@ func TestCaptureSelectorsAndPcap(t *testing.T) {
 	}
 }
 
+// /status breaks capture drops down per subscriber: each live stream
+// appears with its filter, queue depth and own drop counter, oldest
+// subscription first.
+func TestStatusCaptureSubscriberDrops(t *testing.T) {
+	s := NewServer()
+	slow := s.hub.subscribe(selector{prio: "hi", host: "host01"})
+	defer s.hub.unsubscribe(slow)
+	fast := s.hub.subscribe(selector{})
+	defer s.hub.unsubscribe(fast)
+
+	// Overflow both buffers; the all-frames subscriber drains first so
+	// only the stalled hi-filter stream keeps dropping.
+	s.SetClassifier(func(frame []byte) (string, bool, bool) { return "hi0001", true, true })
+	for i := 0; i < subBufDepth+5; i++ {
+		s.Tap("host01", sim.Time(i), []byte("hi:x"), false)
+	}
+	for len(fast.ch) > 0 {
+		<-fast.ch
+	}
+	for i := 0; i < 3; i++ {
+		s.Tap("host01", sim.Time(i), []byte("hi:y"), false)
+	}
+	checkpointOnce(s, 10*sim.Millisecond, 1, nil)
+
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	rd := bufio.NewReader(resp.Body)
+	var st Status
+	for {
+		line, err := rd.ReadString('\n')
+		if err != nil {
+			t.Fatalf("SSE read: %v", err)
+		}
+		if strings.HasPrefix(line, "data: ") {
+			if err := json.Unmarshal([]byte(strings.TrimPrefix(strings.TrimSpace(line), "data: ")), &st); err != nil {
+				t.Fatalf("SSE payload: %v", err)
+			}
+			break
+		}
+	}
+	if len(st.CaptureSubs) != 2 {
+		t.Fatalf("capture_subs = %+v, want 2 entries", st.CaptureSubs)
+	}
+	if st.CaptureSubs[0].ID >= st.CaptureSubs[1].ID {
+		t.Errorf("capture_subs not id-ordered: %+v", st.CaptureSubs)
+	}
+	sl, fa := st.CaptureSubs[0], st.CaptureSubs[1]
+	if sl.Selector != "host=host01 prio=hi" || fa.Selector != "all" {
+		t.Errorf("selectors = %q, %q", sl.Selector, fa.Selector)
+	}
+	if sl.Dropped != 8 || sl.Queued != subBufDepth {
+		t.Errorf("stalled sub = %+v, want dropped 8 queued %d", sl, subBufDepth)
+	}
+	if fa.Dropped != 5 || fa.Queued != 3 {
+		t.Errorf("drained sub = %+v, want dropped 5 queued 3", fa)
+	}
+	if st.CaptureDropped != sl.Dropped+fa.Dropped {
+		t.Errorf("capture_dropped = %d, want %d", st.CaptureDropped, sl.Dropped+fa.Dropped)
+	}
+}
+
 // The tap path is free when nobody subscribes and never blocks when a
 // subscriber stalls: excess frames are dropped and counted.
 func TestTapNonBlocking(t *testing.T) {

@@ -26,12 +26,18 @@ type Group struct {
 	// every synchronization window, after the window's events have executed
 	// and cross-shard sends have been collected. All shards are quiescent
 	// (their worker goroutines have joined), so the callback may read any
-	// shard-local state race-free. It must not mutate simulation state or
-	// schedule events — it is an observation point, not a participant: the
-	// window schedule (and the Windows counter committed in golden
-	// fixtures) is computed identically whether or not a hook is installed.
-	// windowEnd is the window's exclusive bound: every event strictly
-	// before it has executed.
+	// shard-local state race-free, and it may mutate quiescent state —
+	// counters, routing tables, admission parameters, registering new
+	// handlers — because no shard observes the mutation until the next
+	// window starts (the spawn of the window's goroutines is the
+	// happens-before edge). It must NOT schedule engine events or send on
+	// links: the window schedule (and the Windows counter committed in
+	// golden fixtures) must stay a pure function of the event timeline,
+	// identical whether or not a hook is installed. Barrier-driven control
+	// planes (cluster recovery) therefore act only on state; anything
+	// needing an exact-time event schedules it from event context on the
+	// owning shard instead. windowEnd is the window's exclusive bound:
+	// every event strictly before it has executed.
 	OnBarrier func(windowEnd sim.Time)
 }
 

@@ -8,6 +8,7 @@ import (
 	"prism/internal/fault"
 	"prism/internal/netdev"
 	"prism/internal/prio"
+	rec "prism/internal/recover"
 	"prism/internal/testbed"
 )
 
@@ -123,6 +124,7 @@ func Compile(s *Scenario) (*Plan, error) {
 			HostCap:  t.HostCap,
 			Seed:     p.Seed,
 			Host:     host,
+			Fabric:   cluster.FabricConfig{Racks: t.Racks},
 			Warmup:   p.Warmup,
 			EchoCost: p.EchoCost,
 			SinkCost: p.SinkCost,
@@ -153,6 +155,37 @@ func Compile(s *Scenario) (*Plan, error) {
 					Ingress: g.Ingress,
 				})
 			}
+		}
+		if f := s.Faults; f != nil {
+			// A fault section on a cluster arms the recovery controller:
+			// scripted kind entries lower to its failure script, rate
+			// content to per-host fault planes (cluster.New re-derives
+			// each plane's seed from the host's engine stream).
+			rc := &cluster.RecoveryConfig{}
+			fcfg := &fault.Config{Rate: f.Rate, Classes: f.Classes}
+			rateContent := f.Rate > 0
+			for _, ph := range f.Phases {
+				if ph.Kind != "" {
+					kind, err := rec.ParseEventKind(ph.Kind)
+					if err != nil {
+						return nil, fmt.Errorf("scenario.faults.phases: %w", err)
+					}
+					rc.Script = append(rc.Script, rec.Event{
+						Kind: kind, Host: ph.Host, Tor: ph.Tor,
+						At: ph.From, Until: ph.Until,
+					})
+					continue
+				}
+				rateContent = true
+				fcfg.Phases = append(fcfg.Phases, fault.Phase{
+					From: ph.From, Until: ph.Until, Rate: ph.Rate, Classes: ph.Classes,
+				})
+			}
+			if rateContent {
+				cfg.Host.Fault = fcfg
+				cfg.Host.Shed = cfg.Host.Shed || f.Shed
+			}
+			cfg.Recovery = rc
 		}
 		plan.ClusterRun = cfg
 		return plan, nil

@@ -539,6 +539,25 @@ func (p *Plan) runCustomCluster() (*Result, error) {
 	m["fabric_util_max"], m["fabric_util_mean"] = max, mean
 	m["windows"] = float64(c.Group.Windows)
 	m["racks"] = float64(c.Cfg.Fabric.Racks)
+	if p.ClusterRun.Recovery != nil {
+		m["detections"] = float64(len(c.Detections()))
+		m["migrated"] = float64(len(c.Migrations()))
+		m["snapshot_version"] = float64(c.Snapshot().Version)
+		rx, tx := c.CrashDrops()
+		m["crash_dropped"] = float64(rx + tx)
+		m["epoch_dropped"] = float64(c.EpochDrops())
+		m["admit_retries"] = float64(c.RecoveryRetries())
+	}
+	if c.Cfg.Host.Fault != nil {
+		var injected uint64
+		for _, n := range c.Nodes {
+			st := n.Plane.Stats()
+			injected += st.Corrupted + st.LinkDropped + st.Jittered + st.OverrunDropped +
+				st.IRQsLost + st.IRQsSpurious + st.SoftirqStalls + st.ConsumerStalls +
+				st.HostCrashes
+		}
+		m["faults_injected"] = float64(injected)
+	}
 
 	pipes := c.Pipes()
 	regs := make([]*obs.Registry, len(pipes))

@@ -94,6 +94,7 @@ type Topology struct {
 
 	// Cluster-only fields.
 	Hosts     int
+	Racks     int
 	HostCap   int
 	Placement string
 	Admission *Admission
@@ -163,12 +164,21 @@ type Faults struct {
 	Phases  []FaultPhase
 }
 
-// FaultPhase is one window of the fault timeline.
+// FaultPhase is one entry of the fault timeline: either a rate window
+// (Rate/Classes over [From, Until)) or — on cluster topologies — a
+// scripted failure event (Kind host_crash / tor_link_down at From,
+// restored at Until).
 type FaultPhase struct {
 	From    sim.Time
 	Until   sim.Time
 	Rate    float64
 	Classes fault.Class
+
+	// Kind, when set, makes this a scripted cluster failure instead of a
+	// rate window; Host / Tor pick the victim.
+	Kind string
+	Host int
+	Tor  int
 }
 
 var groupNameRe = regexp.MustCompile(`^[a-z][a-z0-9_]*$`)
@@ -416,6 +426,11 @@ func decodeTopology(root *obj) (*Topology, error) {
 		return nil, err
 	}
 	t.Hosts = int(hosts)
+	racks, err := o.integer("racks", 0)
+	if err != nil {
+		return nil, err
+	}
+	t.Racks = int(racks)
 	cap_, err := o.integer("host_cap", 0)
 	if err != nil {
 		return nil, err
@@ -452,8 +467,8 @@ func decodeTopology(root *obj) (*Topology, error) {
 
 	cluster := t.Split == "cluster"
 	if !cluster {
-		if t.Hosts > 0 || t.HostCap > 0 || t.Placement != "" || t.Admission != nil {
-			return nil, o.errf("hosts/host_cap/placement/admission: only valid with split: cluster")
+		if t.Hosts > 0 || t.Racks > 0 || t.HostCap > 0 || t.Placement != "" || t.Admission != nil {
+			return nil, o.errf("hosts/racks/host_cap/placement/admission: only valid with split: cluster")
 		}
 	}
 	if cluster && (t.RxQueues > 0 || t.BatchSize > 0) {
@@ -653,6 +668,11 @@ var faultClassNames = map[string]fault.Class{
 	"consumer": fault.ClassConsumer,
 	"softirq":  fault.ClassSoftirq,
 	"all":      fault.ClassAll,
+	// Cluster-only classes (deliberately outside "all": they require the
+	// recovery controller, and arming them must not perturb the RNG
+	// draws of datapath-fault configurations).
+	"host_crash": fault.ClassHostCrash,
+	"tor_link":   fault.ClassTorLink,
 }
 
 func decodeClasses(o *obj, key string) (fault.Class, error) {
@@ -718,14 +738,41 @@ func decodeFaults(root *obj) (*Faults, error) {
 		if ph.Until, err = po.duration("until", 0); err != nil {
 			return nil, err
 		}
+		if ph.Kind, err = po.enum("kind", "", "", "host_crash", "tor_link_down"); err != nil {
+			return nil, err
+		}
+		host, err := po.integer("host", 0)
+		if err != nil {
+			return nil, err
+		}
+		ph.Host = int(host)
+		tor, err := po.integer("tor", 0)
+		if err != nil {
+			return nil, err
+		}
+		ph.Tor = int(tor)
 		if ph.Rate, err = po.float("rate", 0); err != nil {
 			return nil, err
 		}
-		if ph.Rate <= 0 || ph.Rate > 1 {
-			return nil, po.errf("rate: %v outside (0, 1]", ph.Rate)
-		}
 		if ph.Classes, err = decodeClasses(po, "classes"); err != nil {
 			return nil, err
+		}
+		if ph.Kind != "" {
+			// A scripted failure event: the victim is the payload, rate
+			// windows don't apply.
+			if ph.Rate != 0 || ph.Classes != 0 {
+				return nil, po.errf("kind: scripted %s entries carry host/tor, not rate/classes", ph.Kind)
+			}
+			if ph.From <= 0 {
+				return nil, po.errf("from: a scripted %s needs a positive event time", ph.Kind)
+			}
+		} else {
+			if ph.Rate <= 0 || ph.Rate > 1 {
+				return nil, po.errf("rate: %v outside (0, 1]", ph.Rate)
+			}
+			if ph.Host != 0 || ph.Tor != 0 {
+				return nil, po.errf("host/tor: only valid on scripted entries (set kind)")
+			}
 		}
 		if ph.Until > 0 && ph.Until <= ph.From {
 			return nil, po.errf("until: must be after from (or omitted for open-ended)")
@@ -741,8 +788,14 @@ func decodeFaults(root *obj) (*Faults, error) {
 	if f.Rate == 0 && len(f.Phases) == 0 {
 		return nil, o.errf("either rate or phases must be set")
 	}
-	if f.Rate > 0 && len(f.Phases) > 0 {
-		return nil, o.errf("rate and phases are mutually exclusive (phases carry their own rates)")
+	rateWindows := 0
+	for _, ph := range f.Phases {
+		if ph.Kind == "" {
+			rateWindows++
+		}
+	}
+	if f.Rate > 0 && rateWindows > 0 {
+		return nil, o.errf("rate and rate-window phases are mutually exclusive (phases carry their own rates)")
 	}
 	return f, nil
 }
@@ -795,8 +848,8 @@ func validate(s *Scenario) error {
 	if len(s.Workload) == 0 {
 		return fmt.Errorf("scenario.workload: a custom topology needs at least one traffic group")
 	}
-	if s.Faults != nil && t.Split != "monolithic" {
-		return fmt.Errorf("scenario.faults: fault injection requires split: monolithic (a plane is engine-local state)")
+	if s.Faults != nil && t.Split != "monolithic" && t.Split != "cluster" {
+		return fmt.Errorf("scenario.faults: fault injection requires split: monolithic or cluster (a plane is engine-local state)")
 	}
 	if s.Conservation && t.Split != "monolithic" && t.Split != "cluster" {
 		return fmt.Errorf("scenario.conservation: only monolithic and cluster runs drain to the strict invariant check")
@@ -841,9 +894,39 @@ func validate(s *Scenario) error {
 	}
 	if s.Faults != nil {
 		horizon := s.Warmup + s.Duration
+		clusterClasses := fault.ClassHostCrash | fault.ClassTorLink
+		if t.Split != "cluster" && s.Faults.Classes&clusterClasses != 0 {
+			return fmt.Errorf("scenario.faults.classes: host_crash / tor_link need split: cluster (they fail whole hosts and fabric uplinks)")
+		}
+		racks := t.Racks
+		if racks <= 0 && t.Hosts > 0 {
+			racks = (t.Hosts + 7) / 8 // the fabric's default rack shape
+		}
 		for i, ph := range s.Faults.Phases {
 			if ph.From >= horizon {
 				return fmt.Errorf("scenario.faults.phases[%d].from: past the run horizon", i)
+			}
+			if ph.Kind == "" {
+				if t.Split != "cluster" && ph.Classes&clusterClasses != 0 {
+					return fmt.Errorf("scenario.faults.phases[%d].classes: host_crash / tor_link need split: cluster", i)
+				}
+				continue
+			}
+			if t.Split != "cluster" {
+				return fmt.Errorf("scenario.faults.phases[%d].kind: scripted %s needs split: cluster", i, ph.Kind)
+			}
+			switch ph.Kind {
+			case "host_crash":
+				if ph.Host < 0 || ph.Host >= t.Hosts {
+					return fmt.Errorf("scenario.faults.phases[%d].host: host %d outside the %d-host cluster", i, ph.Host, t.Hosts)
+				}
+			case "tor_link_down":
+				if racks < 2 {
+					return fmt.Errorf("scenario.faults.phases[%d]: tor_link_down needs a multi-rack fabric (set topology.racks >= 2)", i)
+				}
+				if ph.Tor < 0 || ph.Tor >= racks {
+					return fmt.Errorf("scenario.faults.phases[%d].tor: rack %d outside the %d-rack fabric", i, ph.Tor, racks)
+				}
 			}
 		}
 	}

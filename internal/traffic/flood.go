@@ -36,8 +36,13 @@ type UDPFlood struct {
 	// cross-shard hand-off, as on PingPong.Inject.
 	Inject func(now, arrive sim.Time, frame []byte)
 
-	// Delivered counts messages that reached the background app.
+	// Delivered counts messages that reached the first-installed sink;
+	// sinks holds every installed replica's counter (rehomed flows gain
+	// one per migration — the old sink may still drain concurrently on
+	// its crashed host's shard, so counters are never shared). Use
+	// DeliveredCount for the flow's total.
 	Delivered *stats.RateCounter
+	sinks     []*stats.RateCounter
 	Sent      uint64
 
 	// frame is the wire frame, encoded once at the first burst: every
@@ -60,12 +65,18 @@ func NewUDPFlood(eng *sim.Engine, h *overlay.Host, target *overlay.Container,
 }
 
 // InstallSink binds the receiving sockperf server: it just counts messages,
-// charging perMsgCost on its application core.
+// charging perMsgCost on its application core. Each call installs a
+// fresh replica sink on the current Target.
 func (f *UDPFlood) InstallSink(perMsgCost sim.Time) error {
+	sink := f.Delivered
+	if len(f.sinks) > 0 {
+		sink = stats.NewRateCounter("background-rx")
+	}
+	f.sinks = append(f.sinks, sink)
 	app := socket.AppFunc{
 		Cost: func(socket.Message) sim.Time { return perMsgCost },
 		Fn: func(done sim.Time, m socket.Message) {
-			f.Delivered.Add(done, 1, len(m.Payload))
+			sink.Add(done, 1, len(m.Payload))
 		},
 	}
 	if f.Target != nil {
@@ -74,6 +85,27 @@ func (f *UDPFlood) InstallSink(perMsgCost sim.Time) error {
 	}
 	_, err := f.Host.BindHost(pkt.ProtoUDP, f.DstPort, app, 4096)
 	return err
+}
+
+// Rehome migrates the flood's sink to a new container (a cluster
+// recovery re-placement): the next burst re-encodes the wire frame for
+// the new target, and a fresh sink replica counts deliveries there. The
+// old replica stays bound on its crashed host. Call only while all
+// shards are quiescent (a barrier).
+func (f *UDPFlood) Rehome(target *overlay.Container, perMsgCost sim.Time) error {
+	f.Target = target
+	f.frame = nil
+	return f.InstallSink(perMsgCost)
+}
+
+// DeliveredCount sums deliveries across every installed sink replica.
+// Read only at quiescent points.
+func (f *UDPFlood) DeliveredCount() uint64 {
+	var n uint64
+	for _, s := range f.sinks {
+		n += s.Count()
+	}
+	return n
 }
 
 // Start schedules the first burst at time at.

@@ -55,7 +55,22 @@ type PingPong struct {
 	Sent     uint64
 	Received uint64
 
+	// homes are the installed echo replicas, in install order. After a
+	// cluster migration the old replica keeps draining its host's
+	// internally queued requests while the new one serves live traffic —
+	// possibly concurrently on different shards — so each home owns its
+	// counters and readers sum them at quiescent points.
+	homes []*echoHome
+
 	stopped bool
+}
+
+// echoHome is one installed echo replica's private state. The first
+// home's kernel histogram is the flow's KernelHist; later homes record
+// into their own (merging live histograms across shards would race).
+type echoHome struct {
+	served uint64
+	kernel *stats.Histogram
 }
 
 // NewPingPong constructs the flow with defaults filled in.
@@ -71,14 +86,22 @@ func NewPingPong(eng *sim.Engine, h *overlay.Host, target *overlay.Container,
 }
 
 // InstallEcho binds the echo server app with the given per-request CPU
-// cost, the sockperf server analogue.
+// cost, the sockperf server analogue. Each call installs a fresh
+// replica (home) on the current Target; the first call is the normal
+// single-server case.
 func (p *PingPong) InstallEcho(appCost sim.Time) error {
+	home := &echoHome{kernel: p.KernelHist}
+	if len(p.homes) > 0 {
+		home.kernel = stats.NewHistogram()
+	}
+	p.homes = append(p.homes, home)
 	if p.Target != nil {
 		ctr, src, dstPort := p.Target, p.Src, p.DstPort
 		app := socket.AppFunc{
 			Cost: func(socket.Message) sim.Time { return appCost },
 			Fn: func(done sim.Time, m socket.Message) {
-				p.recordKernel(m)
+				home.served++
+				p.recordKernel(home, m)
 				ctr.SendUDP(done, src, dstPort, m.Payload)
 			},
 		}
@@ -89,7 +112,8 @@ func (p *PingPong) InstallEcho(appCost sim.Time) error {
 	app := socket.AppFunc{
 		Cost: func(socket.Message) sim.Time { return appCost },
 		Fn: func(done sim.Time, m socket.Message) {
-			p.recordKernel(m)
+			home.served++
+			p.recordKernel(home, m)
 			h.SendHostUDP(done, m.From.SrcPort, dstPort, m.Payload)
 		},
 	}
@@ -97,11 +121,32 @@ func (p *PingPong) InstallEcho(appCost sim.Time) error {
 	return err
 }
 
-func (p *PingPong) recordKernel(m socket.Message) {
+// Rehome migrates the flow's server endpoint to a new container (a
+// cluster recovery re-placement) and installs a fresh echo replica
+// there. The old replica stays bound — its crashed host keeps draining
+// internal queues — while the generator encodes the new target from its
+// next send on. Call only while all shards are quiescent (a barrier).
+func (p *PingPong) Rehome(target *overlay.Container, appCost sim.Time) error {
+	p.Target = target
+	return p.InstallEcho(appCost)
+}
+
+// Served sums requests served across every installed replica. Homes on
+// different shards update concurrently, so read only at quiescent
+// points.
+func (p *PingPong) Served() uint64 {
+	var n uint64
+	for _, h := range p.homes {
+		n += h.served
+	}
+	return n
+}
+
+func (p *PingPong) recordKernel(home *echoHome, m socket.Message) {
 	if m.Arrived < p.Warmup {
 		return
 	}
-	p.KernelHist.Record(m.Delivered - m.Arrived)
+	home.kernel.Record(m.Delivered - m.Arrived)
 }
 
 // Start registers the reply handler and schedules the first request at
